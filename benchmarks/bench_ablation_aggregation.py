@@ -1,0 +1,97 @@
+"""Ablation: aggregation of cross-node sends (paper section 5.1 / 7.3).
+
+The Two-Step AllToAll's whole point is coalescing the G chunks headed
+to one destination node into a single InfiniBand send. This bench
+compares it against the naive AllToAll (no aggregation: one small IB
+message per destination GPU) and against a de-aggregated Two-Step
+variant that stages chunks but ships them one by one.
+"""
+
+import pytest
+
+from repro.algorithms.alltoall_twostep import naive_alltoall
+from repro.analysis import ir_timer, run_sweep, size_grid
+from repro.core import AllToAll, MSCCLProgram, chunk
+from repro.topology import ndv4
+
+from bench_common import KiB, MiB, compile_on, report
+
+NODES, GPUS = 2, 8
+
+
+def unaggregated_twostep():
+    """Two-Step routing, but the staged chunks cross IB individually."""
+    collective = AllToAll(NODES * GPUS, chunk_factor=1)
+    with MSCCLProgram("twostep_unaggregated", collective,
+                      gpus_per_node=GPUS) as program:
+        for dst_node in range(NODES):
+            for dst_gpu in range(GPUS):
+                for src_node in range(NODES):
+                    for src_gpu in range(GPUS):
+                        c = chunk((src_node, src_gpu), "in",
+                                  (dst_node, dst_gpu))
+                        if dst_node == src_node:
+                            c.copy((dst_node, dst_gpu), "out",
+                                   (src_node, src_gpu))
+                        else:
+                            c.copy((src_node, dst_gpu), "sc",
+                                   (dst_node, src_gpu))
+                for src_node in range(NODES):
+                    if src_node == dst_node:
+                        continue
+                    for k in range(GPUS):  # one IB send per chunk
+                        staged = chunk((src_node, dst_gpu), "sc",
+                                       dst_node * GPUS + k)
+                        staged.copy((dst_node, dst_gpu), "out",
+                                    src_node * GPUS + k)
+    return program
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    from repro.algorithms import twostep_alltoall
+
+    topology = ndv4(NODES)
+    configs = {}
+    for label, program in [
+        ("aggregated", twostep_alltoall(NODES, GPUS, protocol="Simple")),
+        ("unaggregated", unaggregated_twostep()),
+        ("naive", naive_alltoall(NODES * GPUS, gpus_per_node=GPUS,
+                                 protocol="Simple")),
+    ]:
+        ir = compile_on(topology, program)
+        configs[label] = ir_timer(ir, topology, program.collective)
+    return run_sweep(
+        "ablation_aggregation",
+        size_grid(256 * KiB, 256 * MiB)[::2],
+        configs,
+    )
+
+
+def test_aggregation_table(sweep):
+    report("ablation_aggregation",
+           "Ablation: IB send aggregation (AllToAll, 2-node A100)",
+           sweep, "naive")
+
+
+def test_aggregated_beats_unaggregated(sweep):
+    agg = sweep.series["aggregated"].times_us
+    unagg = sweep.series["unaggregated"].times_us
+    # Aggregation wins where messages are small relative to the ramp.
+    assert agg[0] < unagg[0]
+
+
+def test_aggregated_beats_naive_at_small_sizes(sweep):
+    speedups = sweep.speedups("naive")["aggregated"]
+    assert speedups[0] > 1.0
+
+
+def test_benchmark_aggregated_alltoall(benchmark):
+    from repro.algorithms import twostep_alltoall
+    from repro.runtime import IrSimulator
+
+    topology = ndv4(NODES)
+    program = twostep_alltoall(NODES, GPUS, protocol="Simple")
+    ir = compile_on(topology, program)
+    simulator = IrSimulator(ir, topology)
+    benchmark(simulator.run, chunk_bytes=16 * MiB / (NODES * GPUS))

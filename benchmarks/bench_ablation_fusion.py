@@ -1,0 +1,70 @@
+"""Ablation: instruction fusion on/off (paper section 4.3).
+
+Fusion rewrites recv+send chains into rcs/rrcs/rrs so intermediate
+chunks flow through registers instead of taking an extra pass over
+global memory. Disabling it must (a) inflate the instruction count and
+(b) slow execution, most visibly at bandwidth-bound sizes.
+"""
+
+import pytest
+
+from repro.algorithms import ring_allreduce
+from repro.analysis import format_size, ir_timer, run_sweep, size_grid
+from repro.core import CompilerOptions, compile_program
+from repro.topology import ndv4
+
+from bench_common import KiB, MiB, RESULTS_DIR, report
+
+RANKS = 8
+
+
+def _build(instr_fusion: bool):
+    program = ring_allreduce(RANKS, channels=4, instances=4,
+                             protocol="LL128")
+    return compile_program(
+        program,
+        CompilerOptions(instr_fusion=instr_fusion, max_threadblocks=108),
+    ), program.collective
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    topology = ndv4(1)
+    fused_ir, collective = _build(True)
+    unfused_ir, _ = _build(False)
+    configs = {
+        "fused": ir_timer(fused_ir, topology, collective),
+        "unfused": ir_timer(unfused_ir, topology, collective),
+    }
+    return run_sweep(
+        "ablation_fusion", size_grid(32 * KiB, 32 * MiB)[::2], configs
+    ), fused_ir, unfused_ir
+
+
+def test_fusion_table(sweep):
+    result, fused_ir, unfused_ir = sweep
+    report("ablation_fusion",
+           "Ablation: instruction fusion (Ring AllReduce, 8xA100)",
+           result, "unfused")
+    print(f"fused instructions:   {fused_ir.instruction_count()}")
+    print(f"unfused instructions: {unfused_ir.instruction_count()}")
+
+
+def test_fusion_reduces_instructions(sweep):
+    _, fused_ir, unfused_ir = sweep
+    assert fused_ir.instruction_count() < \
+        unfused_ir.instruction_count() * 0.75
+
+
+def test_fusion_speeds_up_all_sizes(sweep):
+    result, _, _ = sweep
+    for speedup in result.speedups("unfused")["fused"]:
+        assert speedup > 1.0
+
+
+def test_benchmark_fused_ring(benchmark):
+    from repro.runtime import IrSimulator
+
+    ir, _ = _build(True)
+    simulator = IrSimulator(ir, ndv4(1))
+    benchmark(simulator.run, chunk_bytes=4 * MiB / RANKS)

@@ -1,0 +1,80 @@
+"""Ablation: chunk-parallelization factor sweep (paper section 5.1).
+
+"The user should carefully choose the parallelization factor as
+increasing it beyond a certain point will reduce performance": more
+instances add injection bandwidth (a single thread block cannot
+saturate an NVLink) until the link saturates and extra channels only
+cost resources and latency.
+"""
+
+import pytest
+
+from repro.algorithms import ring_allreduce
+from repro.analysis import format_size, ir_timer, size_grid
+from repro.topology import ndv4
+
+from bench_common import KiB, MiB, RESULTS_DIR, compile_on
+
+RANKS = 8
+FACTORS = (1, 2, 4, 8, 16, 24)
+
+
+@pytest.fixture(scope="module")
+def timers():
+    topology = ndv4(1)
+    result = {}
+    for r in FACTORS:
+        program = ring_allreduce(RANKS, channels=1, instances=r,
+                                 protocol="Simple")
+        ir = compile_on(topology, program)
+        result[r] = ir_timer(ir, topology, program.collective)
+    return result
+
+
+def test_parallelization_table(timers):
+    sizes = size_grid(32 * KiB, 128 * MiB)[::2]
+    lines = [
+        "== Ablation: parallelization factor r (Ring AllReduce, "
+        "8xA100, Simple) ==",
+        "(latency in us)",
+        "",
+        f"{'size':>8s}" + "".join(f"{f'r={r}':>10s}" for r in FACTORS),
+    ]
+    for size in sizes:
+        row = f"{format_size(size):>8s}"
+        for r in FACTORS:
+            row += f"{timers[r](size):>10.1f}"
+        lines.append(row)
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_parallelization.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+def test_parallelism_helps_at_bandwidth_bound_sizes(timers):
+    size = 64 * MiB
+    assert timers[8](size) < timers[1](size) * 0.5
+
+
+def test_diminishing_or_negative_returns_at_small_sizes(timers):
+    size = 32 * KiB
+    # At latency-bound sizes, cranking r up cannot keep helping.
+    assert timers[24](size) > timers[2](size) * 0.8
+
+
+def test_saturation_at_high_factors(timers):
+    size = 128 * MiB
+    gain_low = timers[1](size) / timers[8](size)
+    gain_high = timers[8](size) / timers[24](size)
+    assert gain_low > gain_high  # returns diminish once the link is full
+
+
+def test_benchmark_r8_ring(benchmark):
+    from repro.runtime import IrSimulator
+
+    topology = ndv4(1)
+    program = ring_allreduce(RANKS, channels=1, instances=8,
+                             protocol="Simple")
+    ir = compile_on(topology, program)
+    simulator = IrSimulator(ir, topology)
+    benchmark(simulator.run, chunk_bytes=8 * MiB / RANKS)

@@ -1,0 +1,107 @@
+"""Algorithm exploration: the AllReduce zoo on one 8xA100 node.
+
+Section 7.1.2: "One advantage of MSCCLang is the ability to explore
+different algorithms easily." This bench races every AllReduce in the
+repertoire — Ring, All Pairs, recursive halving-doubling, double binary
+tree, and NCCL's baseline — across the size axis, reproducing the
+textbook regimes: latency-optimal algorithms (All Pairs, trees,
+recursive) win small buffers; bandwidth-optimal pipelines (Ring) win
+large ones.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    allpairs_allreduce,
+    double_binary_tree_allreduce,
+    recursive_halving_doubling_allreduce,
+    ring_allreduce,
+)
+from repro.analysis import ir_timer, run_sweep
+from repro.nccl import NcclModel
+from repro.runtime import IrSimulator
+from repro.topology import ndv4
+
+from bench_common import KiB, MiB, compile_on, report, sweep_sizes
+
+BASELINE = "NCCL"
+RANKS = 8
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    topology = ndv4(1)
+    nccl = NcclModel(ndv4(1))
+    configs = {}
+    for label, program in [
+        ("Ring ch=4 r=8 LL", ring_allreduce(
+            RANKS, channels=4, instances=8, protocol="LL")),
+        ("All Pairs r=4 LL", allpairs_allreduce(
+            RANKS, instances=4, protocol="LL")),
+        ("Rec. halving-doubling r=4", recursive_halving_doubling_allreduce(
+            RANKS, instances=4, protocol="LL")),
+        ("Double binary tree r=4", double_binary_tree_allreduce(
+            RANKS, instances=4, protocol="LL", chunk_factor=2)),
+        ("Ring ch=1 r=24 Simple", ring_allreduce(
+            RANKS, channels=1, instances=24, protocol="Simple")),
+    ]:
+        ir = compile_on(topology, program)
+        configs[label] = ir_timer(ir, topology, program.collective)
+    configs[BASELINE] = lambda size: nccl.allreduce_time(size).time_us
+    return run_sweep("allreduce_zoo", sweep_sizes(1 * KiB, 64 * MiB),
+                     configs)
+
+
+def test_zoo_table(sweep):
+    report("allreduce_zoo",
+           "Algorithm exploration: AllReduce zoo, 8xA100", sweep,
+           BASELINE)
+
+
+def test_low_latency_algorithms_win_small(sweep):
+    """At 1KB some log-step or 2-step algorithm beats both rings."""
+    idx = 0
+    times = {
+        label: series.times_us[idx]
+        for label, series in sweep.series.items()
+    }
+    ring_best = min(times["Ring ch=4 r=8 LL"],
+                    times["Ring ch=1 r=24 Simple"])
+    flat_best = min(times["All Pairs r=4 LL"],
+                    times["Rec. halving-doubling r=4"],
+                    times["Double binary tree r=4"])
+    assert flat_best < ring_best
+
+
+def test_bandwidth_algorithms_win_large(sweep):
+    idx = len(sweep.sizes) - 1
+    times = {
+        label: series.times_us[idx]
+        for label, series in sweep.series.items()
+    }
+    assert times["Ring ch=1 r=24 Simple"] < times["All Pairs r=4 LL"]
+    assert times["Ring ch=1 r=24 Simple"] < \
+        times["Double binary tree r=4"]
+
+
+def test_log_step_algorithms_beat_nccl_at_small_sizes(sweep):
+    """Both log-depth newcomers clear the NCCL baseline comfortably in
+    the latency-bound regime — the exploration pay-off the paper's All
+    Pairs story illustrates."""
+    speedups = sweep.speedups(BASELINE)
+    for label in ("Rec. halving-doubling r=4", "Double binary tree r=4"):
+        small = [
+            s for size, s in zip(sweep.sizes, speedups[label])
+            if size <= 64 * KiB
+        ]
+        assert min(small) > 1.2, label
+
+
+def test_benchmark_rhd_1mb(benchmark):
+    topology = ndv4(1)
+    program = recursive_halving_doubling_allreduce(
+        RANKS, instances=4, protocol="LL"
+    )
+    ir = compile_on(topology, program)
+    simulator = IrSimulator(ir, topology)
+    benchmark(simulator.run, chunk_bytes=MiB / RANKS)

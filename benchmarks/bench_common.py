@@ -1,0 +1,77 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every ``bench_fig*.py`` regenerates one figure of the paper's evaluation
+(section 7): it sweeps buffer sizes over the figure's configurations,
+prints the speedup table (the figure's series), writes it to
+``benchmarks/results/``, and asserts the figure's qualitative claims.
+
+Scale control: the default configurations are laptop-sized; set
+``REPRO_FULL=1`` for the paper's full node counts and dense size grids.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Sequence
+
+from repro.analysis import (
+    SweepResult,
+    run_sweep,
+    size_grid,
+    speedup_table,
+    summary_lines,
+)
+from repro.core import CompilerOptions, compile_program
+from repro.core.ir import MscclIr
+from repro.core.program import MSCCLProgram
+from repro.topology.model import Topology
+
+FULL = bool(os.environ.get("REPRO_FULL"))
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+
+def sweep_sizes(start: int, end: int) -> Sequence[int]:
+    """The figure's x axis; subsampled unless REPRO_FULL is set."""
+    grid = size_grid(start, end)
+    return grid if FULL else grid[::2]
+
+
+def compile_on(topology: Topology, program: MSCCLProgram) -> MscclIr:
+    """Compile with the machine's SM limit enforced."""
+    return compile_program(
+        program,
+        CompilerOptions(max_threadblocks=topology.machine.sm_count),
+    )
+
+
+def report(name: str, title: str, result: SweepResult,
+           baseline: str) -> str:
+    """Render, persist, and print one figure's table."""
+    lines = [
+        f"== {title} ==",
+        f"(speedup over {baseline}; sizes are per-GPU buffer bytes)",
+        "",
+        speedup_table(result, baseline),
+        "",
+        *summary_lines(result, baseline),
+    ]
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def band_max(result: SweepResult, label: str, baseline: str,
+             lo: int, hi: int) -> float:
+    """Peak speedup of a series restricted to a size band."""
+    speedups = result.speedups(baseline)[label]
+    values = [
+        s for size, s in zip(result.sizes, speedups) if lo <= size <= hi
+    ]
+    return max(values)

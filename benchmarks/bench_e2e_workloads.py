@@ -1,0 +1,131 @@
+"""Section 7.6: end-to-end workload speedups from swapping collectives.
+
+The paper reports 1.22-1.29x for serving a language model and
+1.10-1.89x for MoE training after replacing NCCL collectives with
+MSCCLang ones. We reproduce the mechanism with the workload models of
+:mod:`repro.analysis.end_to_end`: a step is compute plus collective
+calls; the speedup is governed by the communication fraction and the
+per-collective gains measured in the other benches.
+"""
+
+import pytest
+
+from repro.algorithms import hierarchical_allreduce, twostep_alltoall
+from repro.analysis import (
+    inference_serving_step,
+    ir_timer,
+    moe_training_step,
+)
+from repro.nccl import NcclModel
+from repro.topology import ndv4
+
+from bench_common import RESULTS_DIR, compile_on
+
+NODES, GPUS = 4, 8
+
+
+@pytest.fixture(scope="module")
+def timers():
+    """Baseline (NCCL) and optimized collective timers.
+
+    The optimized side mirrors the deployed runtime (section 6): the
+    hyper-tuned MSCCLang program for each size range, with fallback to
+    NCCL where no registered program wins.
+    """
+    topology = ndv4(NODES)
+    nccl = NcclModel(ndv4(NODES))
+    baseline = {
+        "allreduce": lambda n: nccl.allreduce_time(n).time_us,
+        "alltoall": lambda n: nccl.alltoall_time(n).time_us,
+    }
+
+    MiB = 1024 * 1024
+    allreduce_bands = [
+        (1 * MiB, hierarchical_allreduce(
+            NODES, GPUS, instances=1, protocol="LL", intra_parallel=2)),
+        (16 * MiB, hierarchical_allreduce(
+            NODES, GPUS, instances=2, protocol="LL128", intra_parallel=2)),
+        (float("inf"), hierarchical_allreduce(
+            NODES, GPUS, instances=4, protocol="Simple", intra_parallel=4)),
+    ]
+    allreduce_timers = [
+        (limit, ir_timer(compile_on(topology, program), topology,
+                         program.collective))
+        for limit, program in allreduce_bands
+    ]
+
+    alltoall_program = twostep_alltoall(NODES, GPUS, protocol="LL128")
+    alltoall_timer = ir_timer(
+        compile_on(topology, alltoall_program), topology,
+        alltoall_program.collective,
+    )
+
+    def allreduce_opt(n):
+        for limit, timer in allreduce_timers:
+            if n <= limit:
+                return min(timer(n), baseline["allreduce"](n))
+        raise AssertionError  # unreachable: last band is unbounded
+
+    def alltoall_opt(n):
+        return min(alltoall_timer(n), baseline["alltoall"](n))
+
+    optimized = {"allreduce": allreduce_opt, "alltoall": alltoall_opt}
+    return baseline, optimized
+
+
+def test_e2e_table(timers):
+    baseline, optimized = timers
+    lines = ["== Section 7.6: end-to-end workload speedups ==", ""]
+    lines.append(f"{'workload':>28s} {'comm frac':>10s} {'speedup':>9s}")
+    rows = []
+    # At this 32-GPU scale the aggregation win sits at small expert
+    # buffers (at the paper's 256 GPUs it extends to hundreds of MB).
+    for expert_mb in (0.25, 1.0, 4.0):
+        model = moe_training_step(32, expert_mb=expert_mb,
+                                  dense_mb=8 * expert_mb,
+                                  compute_ms=2.0)
+        rows.append((f"MoE training {expert_mb}MB experts", model))
+    for hidden_mb in (2, 8):
+        rows.append((
+            f"TP serving {hidden_mb}MB hidden",
+            inference_serving_step(hidden_mb=hidden_mb),
+        ))
+    for label, model in rows:
+        fraction = model.communication_fraction(baseline)
+        speedup = model.speedup(baseline, optimized)
+        lines.append(f"{label:>28s} {fraction:>9.0%} {speedup:>8.2f}x")
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "e2e_workloads.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+def test_training_speedup_in_paper_band(timers):
+    """The paper's MoE range is 1.10-1.89x depending on architecture."""
+    baseline, optimized = timers
+    speedups = [
+        moe_training_step(32, expert_mb=mb, dense_mb=8 * mb,
+                          compute_ms=2.0)
+        .speedup(baseline, optimized)
+        for mb in (0.25, 1.0, 4.0)
+    ]
+    assert max(speedups) > 1.10
+    assert all(s >= 0.99 for s in speedups)  # fallback never loses
+
+
+def test_speedup_grows_with_comm_fraction(timers):
+    baseline, optimized = timers
+    light = moe_training_step(32, expert_mb=1, dense_mb=8,
+                              compute_ms=50.0)
+    heavy = moe_training_step(32, expert_mb=1, dense_mb=8,
+                              compute_ms=2.0)
+    assert heavy.communication_fraction(baseline) > \
+        light.communication_fraction(baseline)
+    assert heavy.speedup(baseline, optimized) > \
+        light.speedup(baseline, optimized)
+
+
+def test_benchmark_workload_pricing(benchmark, timers):
+    baseline, optimized = timers
+    model = moe_training_step(32, expert_mb=1.0)
+    benchmark(model.speedup, baseline, optimized)

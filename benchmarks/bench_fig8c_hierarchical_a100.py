@@ -1,0 +1,84 @@
+"""Figure 8c: 2-node 16xA100 AllReduce speedup over NCCL.
+
+Series: the hierarchical AllReduce (the paper's running example) tuned
+per size band — LL r=1 for small buffers, LL128 r=2 for the middle,
+Simple r=4 (intra phases parallelized 4x) for large — plus the same
+algorithm composed from four NCCL collective launches ("NCCL
+Hierarchical", the red line).
+
+Paper shape: up to ~1.4x at small sizes, ~1.1x at >= 1GB, and the
+composed version clearly *slower* than NCCL everywhere (kernel-launch
+overhead, no cross-phase pipelining).
+"""
+
+import pytest
+
+from repro.algorithms import hierarchical_allreduce
+from repro.analysis import ir_timer, run_sweep
+from repro.baselines import ComposedHierarchicalAllReduce
+from repro.nccl import NcclModel
+from repro.runtime import IrSimulator
+from repro.topology import ndv4
+
+from bench_common import (
+    GiB,
+    KiB,
+    MiB,
+    band_max,
+    compile_on,
+    report,
+    sweep_sizes,
+)
+
+BASELINE = "NCCL"
+NODES, GPUS = 2, 8
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    topology = ndv4(NODES)
+    nccl = NcclModel(ndv4(NODES))
+    composed = ComposedHierarchicalAllReduce(ndv4(NODES))
+    configs = {}
+    for label, program in [
+        ("MSCCLang LL r=1", hierarchical_allreduce(
+            NODES, GPUS, instances=1, protocol="LL", intra_parallel=2)),
+        ("MSCCLang LL128 r=2", hierarchical_allreduce(
+            NODES, GPUS, instances=2, protocol="LL128", intra_parallel=2)),
+        ("MSCCLang Simple r=4", hierarchical_allreduce(
+            NODES, GPUS, instances=4, protocol="Simple", intra_parallel=4)),
+    ]:
+        ir = compile_on(topology, program)
+        configs[label] = ir_timer(ir, topology, program.collective)
+    configs["NCCL Hierarchical"] = composed.time_us
+    configs[BASELINE] = lambda size: nccl.allreduce_time(size).time_us
+    return run_sweep("fig8c", sweep_sizes(4 * KiB, 4 * GiB), configs)
+
+
+def test_fig8c_table(sweep):
+    report("fig8c", "Figure 8c: 2-node 16xA100 AllReduce", sweep, BASELINE)
+
+
+def test_ll_wins_small_sizes(sweep):
+    assert band_max(sweep, "MSCCLang LL r=1", BASELINE,
+                    4 * KiB, 512 * KiB) > 1.3
+
+
+def test_simple_wins_large_sizes(sweep):
+    speedups = sweep.speedups(BASELINE)["MSCCLang Simple r=4"]
+    at_largest = speedups[-1]
+    assert at_largest > 1.05  # the paper reports ~1.11x above 1GB
+
+
+def test_composed_is_slower_than_nccl(sweep):
+    speedups = sweep.speedups(BASELINE)["NCCL Hierarchical"]
+    assert max(speedups) < 1.0
+
+
+def test_benchmark_hierarchical_64mb(benchmark):
+    topology = ndv4(NODES)
+    program = hierarchical_allreduce(NODES, GPUS, instances=2,
+                                     protocol="LL128", intra_parallel=2)
+    ir = compile_on(topology, program)
+    simulator = IrSimulator(ir, topology)
+    benchmark(simulator.run, chunk_bytes=64 * MiB / (NODES * GPUS))

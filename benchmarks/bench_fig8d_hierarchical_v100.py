@@ -1,0 +1,92 @@
+"""Figure 8d: 2-node 32xV100 (DGX-2) AllReduce speedup over NCCL.
+
+Same experiment as Figure 8c on the V100 system: hierarchical AllReduce
+with per-band tuning (LL r=1, LL128 r=1, Simple r=4) plus the composed
+NCCL-collectives version.
+"""
+
+import pytest
+
+from repro.algorithms import hierarchical_allreduce
+from repro.analysis import ir_timer, run_sweep
+from repro.baselines import ComposedHierarchicalAllReduce
+from repro.nccl import NcclModel
+from repro.runtime import IrSimulator
+from repro.topology import dgx2
+
+from bench_common import (
+    GiB,
+    KiB,
+    MiB,
+    band_max,
+    compile_on,
+    report,
+    sweep_sizes,
+)
+
+BASELINE = "NCCL"
+NODES, GPUS = 2, 16
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    topology = dgx2(NODES)
+    nccl = NcclModel(dgx2(NODES))
+    composed = ComposedHierarchicalAllReduce(dgx2(NODES))
+    configs = {}
+    for label, program in [
+        ("MSCCLang LL r=1", hierarchical_allreduce(
+            NODES, GPUS, instances=1, protocol="LL", intra_parallel=2)),
+        ("MSCCLang LL128 r=1", hierarchical_allreduce(
+            NODES, GPUS, instances=1, protocol="LL128", intra_parallel=2)),
+        ("MSCCLang Simple r=4", hierarchical_allreduce(
+            NODES, GPUS, instances=4, protocol="Simple", intra_parallel=4)),
+    ]:
+        ir = compile_on(topology, program)
+        configs[label] = ir_timer(ir, topology, program.collective)
+    configs["NCCL Hierarchical"] = composed.time_us
+    configs[BASELINE] = lambda size: nccl.allreduce_time(size).time_us
+    return run_sweep("fig8d", sweep_sizes(4 * KiB, 4 * GiB), configs)
+
+
+def test_fig8d_table(sweep):
+    report("fig8d", "Figure 8d: 2-node 32xV100 AllReduce", sweep, BASELINE)
+
+
+def test_ll_wins_small_sizes(sweep):
+    assert band_max(sweep, "MSCCLang LL r=1", BASELINE,
+                    4 * KiB, 512 * KiB) > 1.3
+
+
+def test_simple_competitive_at_large_sizes(sweep):
+    speedups = sweep.speedups(BASELINE)["MSCCLang Simple r=4"]
+    assert speedups[-1] > 0.95
+
+
+def test_composed_loses_at_the_extremes(sweep):
+    """Deviation note (see EXPERIMENTS.md): on this V100 model the
+    composed baseline edges past our NCCL model in the middle band,
+    unlike the paper's measurement; the launch/sync penalties still
+    sink it at small and large sizes, and it never beats the fused
+    MSCCLang configurations."""
+    speedups = sweep.speedups(BASELINE)
+    composed = speedups["NCCL Hierarchical"]
+    assert composed[0] < 1.0 and composed[-1] < 1.0
+    assert max(composed) < 1.35
+    best_msccl = [
+        max(values) for values in zip(
+            speedups["MSCCLang LL r=1"],
+            speedups["MSCCLang LL128 r=1"],
+            speedups["MSCCLang Simple r=4"],
+        )
+    ]
+    assert all(m > c for m, c in zip(best_msccl, composed))
+
+
+def test_benchmark_hierarchical_16mb(benchmark):
+    topology = dgx2(NODES)
+    program = hierarchical_allreduce(NODES, GPUS, instances=1,
+                                     protocol="LL128", intra_parallel=2)
+    ir = compile_on(topology, program)
+    simulator = IrSimulator(ir, topology)
+    benchmark(simulator.run, chunk_bytes=16 * MiB / (NODES * GPUS))

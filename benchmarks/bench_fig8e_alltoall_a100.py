@@ -1,0 +1,95 @@
+"""Figure 8e: multi-node A100 AllToAll, speedup over the hand-written
+CUDA Two-Step kernel.
+
+Series: MSCCLang Two-Step with LL128 and Simple protocols, plus NCCL's
+point-to-point AllToAll for reference.
+
+Paper shape: both Two-Step implementations beat NCCL over most of the
+range (aggregation amortizes per-message InfiniBand overhead); the
+MSCCLang version is up to ~1.3x faster than the CUDA kernel (compiler
+scheduling, no separate rearrangement kernel); NCCL catches the CUDA
+kernel again at very large sizes.
+
+Scale note: the paper uses 16 nodes (256 GPUs). The default here is
+4x8 = 32 GPUs to keep runtime modest; REPRO_FULL=1 uses 8 nodes.
+"""
+
+import pytest
+
+from repro.algorithms import twostep_alltoall
+from repro.analysis import ir_timer, run_sweep
+from repro.baselines import CudaTwoStepAllToAll
+from repro.nccl import NcclModel
+from repro.runtime import IrSimulator
+from repro.topology import ndv4
+
+from bench_common import (
+    FULL,
+    GiB,
+    KiB,
+    MiB,
+    band_max,
+    compile_on,
+    report,
+    sweep_sizes,
+)
+
+BASELINE = "CUDA Two-Step"
+NODES = 8 if FULL else 4
+GPUS = 8
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    topology = ndv4(NODES)
+    cuda = CudaTwoStepAllToAll(ndv4(NODES))
+    nccl = NcclModel(ndv4(NODES))
+    configs = {}
+    for label, program in [
+        ("MSCCLang Two-Step LL128",
+         twostep_alltoall(NODES, GPUS, protocol="LL128")),
+        ("MSCCLang Two-Step Simple",
+         twostep_alltoall(NODES, GPUS, protocol="Simple")),
+    ]:
+        ir = compile_on(topology, program)
+        configs[label] = ir_timer(ir, topology, program.collective)
+    configs["NCCL"] = lambda size: nccl.alltoall_time(size).time_us
+    configs[BASELINE] = cuda.time_us
+    return run_sweep("fig8e", sweep_sizes(256 * KiB, 4 * GiB), configs)
+
+
+def test_fig8e_table(sweep):
+    report("fig8e", f"Figure 8e: {NODES}-node {NODES * GPUS}xA100 "
+           "AllToAll", sweep, BASELINE)
+
+
+def test_msccl_twostep_beats_cuda_at_large_sizes(sweep):
+    peak = band_max(sweep, "MSCCLang Two-Step Simple", BASELINE,
+                    64 * MiB, 4 * GiB)
+    assert 1.05 < peak < 1.6  # the paper reports up to 1.3x
+
+
+def test_both_twosteps_beat_nccl_at_small_mid_sizes(sweep):
+    # Aggregation pays off where per-destination messages are small.
+    # The crossover size scales with rank count: at the paper's 256
+    # GPUs it sits near 512MB; at this scale it lands near 8-16MB.
+    nccl = sweep.speedups(BASELINE)["NCCL"]
+    small_mid = [
+        s for size, s in zip(sweep.sizes, nccl)
+        if size <= 4 * MiB
+    ]
+    assert max(small_mid) < 1.0
+
+
+def test_nccl_recovers_at_very_large_sizes(sweep):
+    nccl = sweep.speedups(BASELINE)["NCCL"]
+    assert nccl[-1] > 0.95  # aggregation stops mattering for huge sends
+
+
+def test_benchmark_twostep_64mb(benchmark):
+    topology = ndv4(NODES)
+    program = twostep_alltoall(NODES, GPUS, protocol="Simple")
+    ir = compile_on(topology, program)
+    simulator = IrSimulator(ir, topology)
+    benchmark(simulator.run,
+              chunk_bytes=64 * MiB / (NODES * GPUS))

@@ -1,0 +1,80 @@
+"""Figure 8f: multi-node V100 (DGX-2) AllToAll, speedup over the CUDA
+Two-Step kernel.
+
+Series: MSCCLang Two-Step LL128 r=2 and Simple r=2 (the paper's V100
+configurations), with NCCL for reference.
+
+Scale note: the paper uses 4 nodes (64 GPUs); default here is 2 nodes,
+REPRO_FULL=1 for the paper's scale.
+"""
+
+import pytest
+
+from repro.algorithms import twostep_alltoall
+from repro.analysis import ir_timer, run_sweep
+from repro.baselines import CudaTwoStepAllToAll
+from repro.nccl import NcclModel
+from repro.runtime import IrSimulator
+from repro.topology import dgx2
+
+from bench_common import (
+    FULL,
+    GiB,
+    MiB,
+    band_max,
+    compile_on,
+    report,
+    sweep_sizes,
+)
+
+BASELINE = "CUDA Two-Step"
+NODES = 4 if FULL else 2
+GPUS = 16
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    topology = dgx2(NODES)
+    cuda = CudaTwoStepAllToAll(dgx2(NODES))
+    nccl = NcclModel(dgx2(NODES))
+    configs = {}
+    for label, program in [
+        ("MSCCLang LL128 r=2",
+         twostep_alltoall(NODES, GPUS, instances=2, protocol="LL128")),
+        ("MSCCLang Simple r=2",
+         twostep_alltoall(NODES, GPUS, instances=2, protocol="Simple")),
+    ]:
+        ir = compile_on(topology, program)
+        configs[label] = ir_timer(ir, topology, program.collective)
+    configs["NCCL"] = lambda size: nccl.alltoall_time(size).time_us
+    configs[BASELINE] = cuda.time_us
+    return run_sweep("fig8f", sweep_sizes(1 * MiB, 4 * GiB), configs)
+
+
+def test_fig8f_table(sweep):
+    report("fig8f", f"Figure 8f: {NODES}-node {NODES * GPUS}xV100 "
+           "AllToAll", sweep, BASELINE)
+
+
+def test_msccl_matches_or_beats_cuda_at_large(sweep):
+    speedups = sweep.speedups(BASELINE)["MSCCLang Simple r=2"]
+    assert speedups[-1] > 1.0
+
+
+def test_nccl_slower_at_small_mid_sizes(sweep):
+    # See fig8e: the crossover scales with rank count.
+    nccl = sweep.speedups(BASELINE)["NCCL"]
+    small_mid = [
+        s for size, s in zip(sweep.sizes, nccl)
+        if size <= 2 * MiB
+    ]
+    assert min(small_mid) < 0.9
+
+
+def test_benchmark_twostep_v100_32mb(benchmark):
+    topology = dgx2(NODES)
+    program = twostep_alltoall(NODES, GPUS, instances=2,
+                               protocol="Simple")
+    ir = compile_on(topology, program)
+    simulator = IrSimulator(ir, topology)
+    benchmark(simulator.run, chunk_bytes=32 * MiB / (NODES * GPUS))

@@ -1,0 +1,81 @@
+"""Figure 8h: multi-node V100 (DGX-2) AllToNext, speedup over the CUDA
+point-to-point baseline.
+
+Series: r in {2, 4, 8} as in the paper. On a DGX-2 the scatter spans 8
+helper GPUs — one per InfiniBand NIC (16 GPUs share 8 NICs), so wider
+scattering adds hops without adding NIC bandwidth.
+
+Scale note: the paper uses 4 nodes; the default here is 2 nodes,
+REPRO_FULL=1 for 4.
+"""
+
+import pytest
+
+from repro.algorithms import alltonext
+from repro.analysis import ir_timer, run_sweep
+from repro.baselines import CudaAllToNext
+from repro.runtime import IrSimulator
+from repro.topology import dgx2
+
+from bench_common import (
+    FULL,
+    KiB,
+    MiB,
+    band_max,
+    compile_on,
+    report,
+    sweep_sizes,
+)
+
+BASELINE = "CUDA P2P"
+NODES = 4 if FULL else 2
+GPUS = 16
+HELPERS = 8  # one per NIC
+FACTORS = (2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    topology = dgx2(NODES)
+    cuda = CudaAllToNext(dgx2(NODES))
+    configs = {}
+    for r in FACTORS:
+        program = alltonext(NODES, GPUS, instances=r,
+                            protocol="Simple", helpers=HELPERS)
+        ir = compile_on(topology, program)
+        configs[f"MSCCLang r={r}"] = ir_timer(
+            ir, topology, program.collective
+        )
+    configs[BASELINE] = cuda.time_us
+    return run_sweep("fig8h", sweep_sizes(4 * KiB, 256 * MiB), configs)
+
+
+def test_fig8h_table(sweep):
+    report("fig8h", f"Figure 8h: {NODES}-node {NODES * GPUS}xV100 "
+           "AllToNext", sweep, BASELINE)
+
+
+def test_baseline_wins_small_sizes(sweep):
+    speedups = sweep.speedups(BASELINE)[f"MSCCLang r={FACTORS[-1]}"]
+    assert speedups[0] < 1.0
+
+
+def test_speedup_at_big_sizes(sweep):
+    peak = band_max(sweep, "MSCCLang r=8", BASELINE,
+                    64 * MiB, 256 * MiB)
+    assert peak > 2.5  # the paper reports up to ~5x on V100s
+
+
+def test_parallelism_ordering_flips_with_size(sweep):
+    speedups = sweep.speedups(BASELINE)
+    assert speedups["MSCCLang r=8"][-1] > speedups["MSCCLang r=2"][-1]
+    assert speedups["MSCCLang r=2"][0] > speedups["MSCCLang r=8"][0]
+
+
+def test_benchmark_alltonext_v100_16mb(benchmark):
+    topology = dgx2(NODES)
+    program = alltonext(NODES, GPUS, instances=4, protocol="Simple",
+                        helpers=HELPERS)
+    ir = compile_on(topology, program)
+    simulator = IrSimulator(ir, topology)
+    benchmark(simulator.run, chunk_bytes=16 * MiB / HELPERS)

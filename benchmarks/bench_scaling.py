@@ -1,0 +1,108 @@
+"""Scaling study: collective latency vs. node count at fixed size.
+
+The paper's deployments run at 256 GPUs; this bench shows how the
+reproduced algorithms scale with node count on NDv4 clusters. Expected
+shape: hierarchical AllReduce's inter-node phase grows with (N-1)/N —
+nearly flat — while the flat NCCL ring's latency grows with total rank
+count; Two-Step AllToAll latency grows linearly with N (each GPU's NIC
+carries (N-1)/N of its buffer) but stays ahead of naive at every scale.
+"""
+
+import pytest
+
+from repro.algorithms import hierarchical_allreduce, twostep_alltoall
+from repro.analysis import ir_timer
+from repro.nccl import NcclModel
+from repro.topology import ndv4
+
+from bench_common import FULL, MiB, RESULTS_DIR, compile_on
+
+NODE_COUNTS = (1, 2, 4, 8) if FULL else (1, 2, 4)
+SIZE = 64 * MiB
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    rows = {}
+    for nodes in NODE_COUNTS:
+        topology = ndv4(nodes)
+        nccl = NcclModel(ndv4(nodes))
+        entry = {"NCCL allreduce": nccl.allreduce_time(SIZE).time_us}
+        if nodes > 1:
+            allreduce = hierarchical_allreduce(
+                nodes, 8, instances=4, protocol="Simple",
+                intra_parallel=4,
+            )
+            entry["hierarchical allreduce"] = ir_timer(
+                compile_on(topology, allreduce), topology,
+                allreduce.collective,
+            )(SIZE)
+            alltoall = twostep_alltoall(nodes, 8, protocol="Simple")
+            entry["two-step alltoall"] = ir_timer(
+                compile_on(ndv4(nodes), alltoall), ndv4(nodes),
+                alltoall.collective,
+            )(SIZE)
+            entry["NCCL alltoall"] = nccl.alltoall_time(SIZE).time_us
+        rows[nodes] = entry
+    return rows
+
+
+def test_scaling_table(scaling):
+    lines = [
+        f"== Scaling study: 64MB collectives vs node count (8 GPUs/node,"
+        " NDv4) ==",
+        "(latency in us)",
+        "",
+        f"{'nodes':>6s} {'NCCL AR':>10s} {'hier AR':>10s} "
+        f"{'2step A2A':>10s} {'NCCL A2A':>10s}",
+    ]
+    for nodes, entry in scaling.items():
+        def cell(key):
+            value = entry.get(key)
+            return f"{value:>10.1f}" if value is not None else " " * 10
+
+        lines.append(
+            f"{nodes:>6d} {cell('NCCL allreduce')}"
+            f" {cell('hierarchical allreduce')}"
+            f" {cell('two-step alltoall')} {cell('NCCL alltoall')}"
+        )
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scaling.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+def test_hierarchical_allreduce_growth_is_bounded(scaling):
+    """Doubling the node count at fixed buffer size costs well under 2x
+    (the inter-node wire share grows only as (N-1)/N; the extra cost is
+    the longer inter-node rings' latency)."""
+    two = scaling[2]["hierarchical allreduce"]
+    four = scaling[4]["hierarchical allreduce"]
+    assert four < two * 2.0
+
+
+def test_hierarchical_matches_nccl_at_the_papers_two_node_scale(scaling):
+    entry = scaling[2]
+    assert entry["hierarchical allreduce"] <=         entry["NCCL allreduce"] * 1.05
+
+
+def test_alltoall_aggregation_grows_more_valuable_with_scale(scaling):
+    """Two-Step's edge over naive AllToAll should not shrink as nodes
+    are added (per-destination messages shrink with rank count)."""
+    ratios = {
+        nodes: entry["NCCL alltoall"] / entry["two-step alltoall"]
+        for nodes, entry in scaling.items() if nodes > 1
+    }
+    node_counts = sorted(ratios)
+    assert ratios[node_counts[-1]] >= ratios[node_counts[0]] * 0.9
+
+
+def test_benchmark_scaling_point(benchmark):
+    topology = ndv4(2)
+    program = hierarchical_allreduce(2, 8, instances=4,
+                                     protocol="Simple", intra_parallel=4)
+    ir = compile_on(topology, program)
+    from repro.runtime import IrSimulator
+
+    simulator = IrSimulator(ir, topology)
+    benchmark(simulator.run, chunk_bytes=SIZE / 16)

@@ -1,0 +1,75 @@
+"""Synthesis extension: topology-aware trees vs. fixed schedules.
+
+The paper frames MSCCLang as the implementation layer for algorithm
+synthesizers (SCCL, Blink). This bench closes that loop with our
+spanning-tree synthesizer on the DGX-1 hybrid cube mesh — the one
+topology in the evaluation where links are point-to-point, so
+link-aware routing actually matters. Compared: the synthesized
+AllGather, the xor-partner (1,2,2) schedule (which must relay over
+missing links), and the Ring.
+"""
+
+import pytest
+
+from repro.algorithms import ring_allgather, sccl_allgather_122
+from repro.analysis import ir_timer, run_sweep
+from repro.core import CompilerOptions, compile_program
+from repro.runtime import IrSimulator
+from repro.synth import synthesize_allgather
+from repro.topology import dgx1_mesh
+
+from bench_common import KiB, MiB, compile_on, report, sweep_sizes
+
+BASELINE = "Ring"
+RANKS = 8
+
+
+def _compile(program):
+    return compile_program(
+        program, CompilerOptions(max_threadblocks=80)
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    configs = {}
+    synthesized = synthesize_allgather(dgx1_mesh(), instances=2)
+    configs["Synthesized trees"] = ir_timer(
+        _compile(synthesized.program), dgx1_mesh(),
+        synthesized.program.collective,
+    )
+    sccl = sccl_allgather_122(RANKS, instances=2)
+    configs["SCCL-style (1,2,2)"] = ir_timer(
+        _compile(sccl), dgx1_mesh(), sccl.collective
+    )
+    ring = ring_allgather(RANKS, channels=2, instances=2)
+    configs[BASELINE] = ir_timer(
+        _compile(ring), dgx1_mesh(), ring.collective
+    )
+    return run_sweep("synth_allgather",
+                     sweep_sizes(32 * KiB, 256 * MiB), configs)
+
+
+def test_synth_table(sweep):
+    report("synth_allgather",
+           "Synthesis: AllGather on the DGX-1 cube mesh", sweep,
+           BASELINE)
+
+
+def test_synthesized_beats_ring_everywhere(sweep):
+    speedups = sweep.speedups(BASELINE)["Synthesized trees"]
+    assert all(s > 1.0 for s in speedups)
+
+
+def test_synthesized_beats_link_oblivious_schedule(sweep):
+    synth = sweep.series["Synthesized trees"].times_us
+    sccl = sweep.series["SCCL-style (1,2,2)"].times_us
+    large = range(len(sweep.sizes) // 2, len(sweep.sizes))
+    assert all(synth[i] < sccl[i] for i in large)
+
+
+def test_benchmark_synthesized_4mb(benchmark):
+    synthesized = synthesize_allgather(dgx1_mesh(), instances=2)
+    ir = _compile(synthesized.program)
+    simulator = IrSimulator(ir, dgx1_mesh())
+    benchmark(simulator.run, chunk_bytes=4 * MiB / RANKS)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Designing a brand-new collective from scratch (paper section 7.4).
+
+MSCCLang's point is that collectives outside the MPI canon are cheap to
+build. Here we define **Shift(k)** — every rank sends its buffer to the
+rank ``k`` positions ahead (a generalization of the paper's AllToNext)
+— as a ``Custom`` collective with its own postcondition, write two
+implementations (direct sends vs. NIC-parallel scatter/forward/gather
+at node boundaries), let the compiler verify both, and race them.
+
+Run:  python examples/custom_collective.py
+"""
+
+from repro.analysis import format_size, ir_timer, size_grid
+from repro.core import (
+    CompilerOptions,
+    Custom,
+    InputChunk,
+    MSCCLProgram,
+    chunk,
+    compile_program,
+)
+from repro.runtime import IrExecutor
+from repro.topology import ndv4
+
+NODES, GPUS, SHIFT = 2, 8, 3
+RANKS = NODES * GPUS
+MiB = 1024 * 1024
+
+
+def shift_collective(shards: int) -> Custom:
+    """Rank r's output must hold rank (r - SHIFT)'s input buffer."""
+
+    def postcondition(rank: int):
+        source = rank - SHIFT
+        if source < 0:
+            return {}  # the first SHIFT ranks receive nothing
+        return {i: InputChunk(source, i) for i in range(shards)}
+
+    return Custom(RANKS, postcondition, chunk_factor=shards,
+                  name=f"shift{SHIFT}")
+
+
+def direct_shift() -> "MSCCLProgram":
+    """Baseline: one direct send per rank pair."""
+    with MSCCLProgram("shift_direct", shift_collective(GPUS),
+                      gpus_per_node=GPUS) as program:
+        for rank in range(RANKS - SHIFT):
+            chunk(rank, "in", 0, count=GPUS).copy(rank + SHIFT, "out", 0)
+    return program
+
+
+def scattered_shift(instances: int = 4) -> "MSCCLProgram":
+    """Node-boundary hops scatter across all GPUs to use every NIC."""
+    with MSCCLProgram("shift_scattered", shift_collective(GPUS),
+                      gpus_per_node=GPUS, instances=instances) as program:
+        for rank in range(RANKS - SHIFT):
+            dst = rank + SHIFT
+            src_span = chunk(rank, "in", 0, count=GPUS)
+            if rank // GPUS == dst // GPUS:
+                src_span.copy(dst, "out", 0)
+                continue
+            node_base = (rank // GPUS) * GPUS
+            next_base = (dst // GPUS) * GPUS
+            for shard in range(GPUS):
+                piece = chunk(rank, "in", shard)
+                helper = node_base + shard
+                if helper != rank:
+                    piece = piece.copy(helper, "sc", 0)
+                landed = piece.copy(next_base + shard, "sc", 1)
+                landed.copy(dst, "out", shard)
+    return program
+
+
+def main() -> None:
+    topology = ndv4(NODES)
+    options = CompilerOptions(
+        max_threadblocks=topology.machine.sm_count
+    )
+    programs = {
+        "direct": compile_program(direct_shift(), options),
+        "scattered": compile_program(scattered_shift(), options),
+    }
+    for label, ir in programs.items():
+        IrExecutor(ir, shift_collective(GPUS)).run_and_check()
+        print(f"{label}: verified; {ir.instruction_count()} instructions, "
+              f"{ir.max_threadblocks_per_gpu()} thread blocks/GPU max")
+
+    timers = {
+        label: ir_timer(ir, ndv4(NODES), shift_collective(GPUS))
+        for label, ir in programs.items()
+    }
+    print(f"\n{'size':>8s} {'direct':>10s} {'scattered':>10s} "
+          f"{'speedup':>8s}")
+    for size in size_grid(64 * 1024, 256 * MiB)[::2]:
+        direct = timers["direct"](size)
+        scattered = timers["scattered"](size)
+        print(f"{format_size(size):>8s} {direct:>10.1f} "
+              f"{scattered:>10.1f} {direct / scattered:>7.2f}x")
+    print("\nThe compiler verified both against the Shift postcondition; "
+          "the scattered version wins once buffers amortize its extra "
+          "hops, exactly like AllToNext in the paper.")
+
+
+if __name__ == "__main__":
+    main()

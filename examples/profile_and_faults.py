@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Profiling a schedule and studying a degraded link.
+
+Two workflows the simulator enables beyond headline numbers:
+
+1. **Profiling** — run with trace collection and inspect per-thread-
+   block utilization, the heaviest instruction occurrences, and an
+   ASCII timeline (the analysis loop behind the paper's tuning).
+2. **Fault injection** — rerun with one NIC at 25% bandwidth and watch
+   the NIC-striped AllToNext shrug while the single-path baseline
+   stalls.
+
+Run:  python examples/profile_and_faults.py
+"""
+
+from repro.algorithms import alltonext, naive_alltonext
+from repro.core import CompilerOptions, compile_program
+from repro.runtime import (
+    IrSimulator,
+    SimConfig,
+    critical_path,
+    slowest_threadblocks,
+    timeline,
+    utilization_report,
+)
+from repro.topology import ndv4
+
+NODES, GPUS = 2, 8
+MiB = 1024 * 1024
+SIZE = 32 * MiB
+
+
+def main() -> None:
+    topology = ndv4(NODES)
+    program = alltonext(NODES, GPUS, instances=4, protocol="Simple")
+    ir = compile_program(
+        program, CompilerOptions(max_threadblocks=108)
+    )
+    chunks = program.collective.sizing_chunks()
+
+    result = IrSimulator(
+        ir, topology, config=SimConfig(collect_trace=True)
+    ).run(chunk_bytes=SIZE / chunks)
+    print(f"AllToNext, {SIZE >> 20}MB: {result.time_us:.1f} us\n")
+
+    print("== five latest-finishing thread blocks ==")
+    for profile in slowest_threadblocks(result, top=5):
+        print(f"  r{profile.rank}/tb{profile.tb_id}: "
+              f"finishes {profile.last_end_us:.1f}us, "
+              f"{profile.utilization:.0%} busy")
+
+    print("\n== heaviest instruction occurrences ==")
+    for line in critical_path(result, top=5):
+        print(f"  {line}")
+
+    boundary_sender = GPUS - 1  # last GPU of node 0
+    print(f"\n== timeline of rank {boundary_sender} "
+          "(the boundary sender) ==")
+    print(timeline(result, rank=boundary_sender, width=56))
+
+    print("\n== utilization (first 8 rows) ==")
+    print("\n".join(utilization_report(result).splitlines()[:9]))
+
+    # -- fault injection --------------------------------------------------
+    degraded = {"nic_out[0,7]": 0.25}  # the boundary sender GPU's NIC
+    print("\n== degrading one NIC to 25% bandwidth ==")
+    for label, builder in [
+        ("striped AllToNext", lambda: alltonext(
+            NODES, GPUS, instances=4, protocol="Simple")),
+        ("single-path baseline", lambda: naive_alltonext(NODES, GPUS)),
+    ]:
+        prog = builder()
+        compiled = compile_program(
+            prog, CompilerOptions(max_threadblocks=108)
+        )
+        sizing = prog.collective.sizing_chunks()
+        healthy = IrSimulator(compiled, ndv4(NODES)).run(
+            chunk_bytes=SIZE / sizing).time_us
+        hurt = IrSimulator(
+            compiled, ndv4(NODES),
+            config=SimConfig(degradations=degraded),
+        ).run(chunk_bytes=SIZE / sizing).time_us
+        print(f"  {label:>22s}: {healthy:8.1f} -> {hurt:8.1f} us "
+              f"({hurt / healthy:4.2f}x slower)")
+    print(
+        "\nThe baseline funnels everything through one NIC, so a single "
+        "slow link is\nthe whole story; the scatter variant only loses "
+        "its share of one stripe."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: write, compile, verify, and benchmark a collective.
+
+This walks the full MSCCLang pipeline on a Ring AllReduce for a single
+8-GPU A100 node:
+
+1. trace the algorithm in the chunk-oriented DSL,
+2. compile it to MSCCL-IR (postcondition-verified, deadlock-audited),
+3. execute the IR on real numpy data and check every element,
+4. simulate its latency across buffer sizes against NCCL.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AllReduce, MSCCLProgram, chunk, compile_program
+from repro.nccl import NcclModel
+from repro.runtime import IrExecutor, IrSimulator
+from repro.topology import ndv4
+from repro.analysis import format_size, size_grid
+
+NUM_RANKS = 8
+
+
+def write_ring_allreduce() -> MSCCLProgram:
+    """The classic Ring AllReduce in a dozen lines of MSCCLang."""
+    collective = AllReduce(NUM_RANKS, chunk_factor=NUM_RANKS,
+                           in_place=True)
+    # The paper's best mid-size config: the logical ring striped over 4
+    # channels (ch=...), the whole program parallelized 8 ways, LL.
+    with MSCCLProgram("quickstart_ring", collective,
+                      protocol="LL", instances=8) as program:
+        for index in range(NUM_RANKS):
+            channel = index % 4
+            # Reduce pass: the chunk circles the ring, accumulating.
+            c = chunk((index + 1) % NUM_RANKS, "in", index)
+            for step in range(1, NUM_RANKS):
+                nxt = (index + 1 + step) % NUM_RANKS
+                c = chunk(nxt, "in", index).reduce(c, ch=channel)
+            # Copy pass: the total circles once more.
+            for step in range(NUM_RANKS - 1):
+                nxt = (index + 1 + step) % NUM_RANKS
+                c = c.copy(nxt, "in", index, ch=channel)
+    return program
+
+
+def main() -> None:
+    program = write_ring_allreduce()
+    print(f"traced {len(program.dag.operations())} chunk operations")
+
+    ir = compile_program(program)  # verifies + audits by default
+    print(
+        f"compiled: {ir.instruction_count()} instructions on "
+        f"{ir.threadblock_count()} thread blocks over "
+        f"{ir.channels_used()} channels"
+    )
+    print(f"opcode mix: {ir.op_histogram()}")
+
+    IrExecutor(ir, program.collective).run_and_check()
+    print("numeric check: every output chunk equals the sum of all "
+          "ranks' inputs")
+
+    topology = ndv4(1)
+    simulator = IrSimulator(ir, topology)
+    nccl = NcclModel(ndv4(1))
+    print(f"\n{'size':>8s} {'ours (us)':>10s} {'NCCL (us)':>10s} "
+          f"{'speedup':>8s}")
+    for size in size_grid(16 * 1024, 4 * 1024 * 1024):
+        ours = simulator.run(chunk_bytes=size / NUM_RANKS).time_us
+        theirs = nccl.allreduce_time(size).time_us
+        print(f"{format_size(size):>8s} {ours:>10.1f} {theirs:>10.1f} "
+              f"{theirs / ours:>7.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Synthesizing a topology-aware collective (the SCCL workflow).
+
+The paper positions MSCCLang as the layer that turns synthesized routes
+into runnable schedules (section 7.5). This example plays both roles on
+the DGX-1 hybrid cube mesh — a machine with point-to-point NVLinks
+where some GPU pairs have no direct link and others have double-width
+links:
+
+1. synthesize one load-balanced broadcast tree per source rank,
+2. compile + verify the resulting AllGather with the normal pipeline,
+3. race it against the link-oblivious (1,2,2) schedule and the Ring.
+
+Run:  python examples/synthesize_for_topology.py
+"""
+
+from repro.algorithms import ring_allgather, sccl_allgather_122
+from repro.analysis import format_size, ir_timer, size_grid
+from repro.core import CompilerOptions, compile_program
+from repro.runtime import IrExecutor
+from repro.synth import synthesize_allgather
+from repro.topology import dgx1_mesh
+
+MiB = 1024 * 1024
+
+
+def main() -> None:
+    topology = dgx1_mesh()
+    print("DGX-1 cube mesh link widths (NVLink bricks):")
+    for rank in range(8):
+        row = " ".join(
+            str(topology.link_width(rank, other)) for other in range(8)
+        )
+        print(f"  GPU {rank}: {row}")
+
+    result = synthesize_allgather(topology, instances=2)
+    options = CompilerOptions(max_threadblocks=80)
+    ir = compile_program(result.program, options)
+    IrExecutor(ir, result.program.collective).run_and_check()
+    print(f"\nsynthesized {len(result.trees)} trees; max edge load "
+          f"{result.max_edge_load():.0f}; verified on data")
+    print("tree for source GPU 0 (child <- parent):")
+    for child, parent in sorted(result.trees[0].items()):
+        if parent is not None:
+            print(f"  {child} <- {parent} "
+                  f"(width {topology.link_width(parent, child)})")
+
+    contenders = {
+        "synthesized": ir_timer(ir, topology,
+                                result.program.collective),
+    }
+    for label, program in [
+        ("sccl (1,2,2)", sccl_allgather_122(8, instances=2)),
+        ("ring", ring_allgather(8, channels=2, instances=2)),
+    ]:
+        compiled = compile_program(program, options)
+        contenders[label] = ir_timer(compiled, dgx1_mesh(),
+                                     program.collective)
+
+    print(f"\n{'size':>8s}" + "".join(
+        f"{label:>14s}" for label in contenders) + "   (us)")
+    for size in size_grid(64 * 1024, 128 * MiB)[::2]:
+        row = f"{format_size(size):>8s}"
+        for timer in contenders.values():
+            row += f"{timer(size):>14.1f}"
+        print(row)
+    print(
+        "\nThe synthesized trees avoid relay hops over missing links "
+        "and lean on\nthe double-width pairs, so they win from ~1MB up; "
+        "the 2-step (1,2,2)\nschedule keeps the latency crown at tiny "
+        "sizes (fewer hops)."
+    )
+
+
+if __name__ == "__main__":
+    main()

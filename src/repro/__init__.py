@@ -1,0 +1,39 @@
+"""repro: a full reproduction of MSCCLang (ASPLOS 2023).
+
+MSCCLang is a system for programmable GPU collective communication: a
+chunk-oriented DSL embedded in Python, an optimizing compiler producing
+deadlock-free MSCCL-IR, and an interpreter-based runtime. This package
+implements all three, substituting a discrete-event cluster simulator
+for the CUDA runtime so every experiment in the paper's evaluation runs
+on a laptop. See DESIGN.md for the system inventory and EXPERIMENTS.md
+for paper-versus-measured results.
+
+Quick start::
+
+    from repro.core import MSCCLProgram, AllReduce, chunk, compile_program
+    from repro.runtime import IrSimulator, IrExecutor
+    from repro.topology import ndv4
+
+    coll = AllReduce(num_ranks=8, chunk_factor=8, in_place=True)
+    with MSCCLProgram("my_allreduce", coll, protocol="LL") as prog:
+        ...                       # chunk(...).copy/.reduce routing
+    ir = compile_program(prog)    # verified + deadlock-free MSCCL-IR
+    IrExecutor(ir, coll).run_and_check()          # numeric correctness
+    IrSimulator(ir, ndv4(1)).run(chunk_bytes=2**17)  # timing
+"""
+
+from . import algorithms, analysis, baselines, core, nccl, runtime, synth, topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "analysis",
+    "baselines",
+    "core",
+    "nccl",
+    "runtime",
+    "synth",
+    "topology",
+    "__version__",
+]

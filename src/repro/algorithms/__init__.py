@@ -1,0 +1,55 @@
+"""Collective algorithms written in the MSCCLang DSL (paper section 7,
+plus the standard repertoire the DSL makes cheap to build)."""
+
+from .allgather_bruck import bruck_allgather
+from .allgather_ring import ring_allgather, ring_reducescatter
+from .allgather_sccl import sccl_allgather_122
+from .allreduce_allpairs import allpairs_allreduce
+from .allreduce_double_tree import double_binary_tree_allreduce, tree_structure
+from .allreduce_recursive import (
+    recursive_doubling_allgather,
+    recursive_halving_doubling_allreduce,
+)
+from .allreduce_hierarchical import hierarchical_allreduce
+from .hierarchical_gather_scatter import (
+    hierarchical_allgather,
+    hierarchical_reducescatter,
+)
+from .allreduce_ring import ring_allreduce
+from .alltoall_hierarchical import hierarchical_alltoall
+from .alltoall_twostep import naive_alltoall, twostep_alltoall
+from .broadcast_reduce import (
+    chain_broadcast,
+    chain_reduce,
+    tree_broadcast,
+    tree_reduce,
+)
+from .alltonext import alltonext, naive_alltonext
+from .common import ring_all_gather, ring_reduce_scatter
+
+__all__ = [
+    "allpairs_allreduce",
+    "bruck_allgather",
+    "chain_broadcast",
+    "chain_reduce",
+    "double_binary_tree_allreduce",
+    "hierarchical_alltoall",
+    "recursive_doubling_allgather",
+    "recursive_halving_doubling_allreduce",
+    "tree_broadcast",
+    "tree_reduce",
+    "tree_structure",
+    "alltonext",
+    "hierarchical_allgather",
+    "hierarchical_allreduce",
+    "hierarchical_reducescatter",
+    "naive_alltoall",
+    "naive_alltonext",
+    "ring_all_gather",
+    "ring_allgather",
+    "ring_allreduce",
+    "ring_reduce_scatter",
+    "ring_reducescatter",
+    "sccl_allgather_122",
+    "twostep_alltoall",
+]

@@ -1,0 +1,52 @@
+"""Bruck's AllGather: ceil(log2 R) steps for *any* rank count.
+
+Recursive doubling needs a power of two; Bruck's algorithm reaches the
+same log-step latency for arbitrary R. In round k each rank sends every
+block it holds to the rank ``2^k`` positions behind it (and receives
+from ``2^k`` ahead), doubling the held span until all R blocks arrive;
+the final round sends only the remainder. Blocks travel "rotated" —
+rank r accumulates blocks r, r+1, r+2, ... — but since we address
+destination indices explicitly, no final rotation pass is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.collectives import AllGather
+from ..core.program import MSCCLProgram, chunk
+
+
+def bruck_allgather(num_ranks: int, *, instances: int = 1,
+                    protocol: str = "LL",
+                    name: Optional[str] = None) -> MSCCLProgram:
+    """Build Bruck's AllGather for any number of ranks >= 2."""
+    if num_ranks < 2:
+        raise ValueError("bruck_allgather needs at least 2 ranks")
+    collective = AllGather(num_ranks, chunk_factor=1, in_place=True)
+    label = name or f"bruck_allgather_{num_ranks}_r{instances}"
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        # held[r] = list of owner indices rank r currently has.
+        held = {rank: [rank] for rank in range(num_ranks)}
+        distance = 1
+        while distance < num_ranks:
+            # How many new blocks this round may add per rank.
+            budget = min(distance, num_ranks - len(held[0]))
+            transfers = []
+            for rank in range(num_ranks):
+                source = (rank + distance) % num_ranks
+                # The blocks this rank still misses, in the order the
+                # source acquired them (owners source, source+1, ...).
+                missing = [
+                    owner for owner in held[source]
+                    if owner not in held[rank]
+                ][:budget]
+                transfers.append((source, rank, missing))
+            for source, rank, missing in transfers:
+                for owner in missing:
+                    chunk(source, "out", owner).copy(rank, "out", owner)
+            for source, rank, missing in transfers:
+                held[rank] = held[rank] + missing
+            distance <<= 1
+    return program

@@ -1,0 +1,45 @@
+"""Standalone Ring AllGather and Ring ReduceScatter programs.
+
+These wrap the Figure 3b helpers as complete collectives (in-place,
+addressing the output buffer through the input alias), used directly in
+tests and as building blocks for comparisons.
+"""
+
+from __future__ import annotations
+
+from ..core.collectives import AllGather, ReduceScatter
+from ..core.program import MSCCLProgram, chunk
+
+
+def ring_allgather(num_ranks: int, *, channels: int = 1,
+                   instances: int = 1, protocol: str = "Simple",
+                   name: str = None) -> MSCCLProgram:
+    """In-place Ring AllGather: rank r's chunk circles the ring."""
+    collective = AllGather(num_ranks, chunk_factor=1, in_place=True)
+    label = name or f"ring_allgather_ch{channels}_r{instances}"
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        for owner in range(num_ranks):
+            ch = owner % channels
+            c = chunk(owner, "in", 0)  # aliases output[owner]
+            for step in range(num_ranks - 1):
+                nxt = (owner + 1 + step) % num_ranks
+                c = c.copy(nxt, "out", owner, ch=ch)
+    return program
+
+
+def ring_reducescatter(num_ranks: int, *, channels: int = 1,
+                       instances: int = 1, protocol: str = "Simple",
+                       name: str = None) -> MSCCLProgram:
+    """In-place Ring ReduceScatter: rank r keeps reduced segment r."""
+    collective = ReduceScatter(num_ranks, chunk_factor=1, in_place=True)
+    label = name or f"ring_reducescatter_ch{channels}_r{instances}"
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        for index in range(num_ranks):
+            ch = index % channels
+            c = chunk((index + 1) % num_ranks, "in", index)
+            for step in range(1, num_ranks):
+                nxt = (index + 1 + step) % num_ranks
+                c = chunk(nxt, "in", index).reduce(c, ch=ch)
+    return program

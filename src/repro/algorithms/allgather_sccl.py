@@ -1,0 +1,39 @@
+"""The SCCL (1,2,2) AllGather for a DGX-1 (paper section 7.5, Fig. 11).
+
+SCCL [Cai et al., PPoPP'21] synthesizes pareto-optimal algorithms; the
+(1,2,2) AllGather finishes in two communication steps on 8 GPUs (versus
+seven for a ring): GPUs first exchange their chunk with a partner, then
+every GPU forwards both chunks it holds to one GPU of each remaining
+pair. We reconstruct that schedule with xor-partner routing: step one
+pairs ``r`` with ``r ^ 1``; step two sends both held chunks to
+``r ^ 2``, ``r ^ 4`` and ``r ^ 6``.
+"""
+
+from __future__ import annotations
+
+from ..core.collectives import AllGather
+from ..core.program import MSCCLProgram, chunk
+
+
+def sccl_allgather_122(num_ranks: int = 8, *, instances: int = 1,
+                       protocol: str = "Simple",
+                       name: str = None) -> MSCCLProgram:
+    """Build the two-step (1,2,2) AllGather (requires a power of two)."""
+    if num_ranks & (num_ranks - 1) or num_ranks < 4:
+        raise ValueError("the (1,2,2) AllGather needs >= 4 ranks, power of 2")
+    collective = AllGather(num_ranks, chunk_factor=1, in_place=True)
+    label = name or f"sccl_allgather_122_r{instances}_{protocol.lower()}"
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        # Step 1: exchange with the xor-1 partner.
+        for rank in range(num_ranks):
+            chunk(rank, "in", 0).copy(rank ^ 1, "out", rank)
+        # Step 2: forward both held chunks to one member of every other
+        # pair (xor offsets 2, 4, 6, ...).
+        for rank in range(num_ranks):
+            held = (rank, rank ^ 1)
+            for offset in range(2, num_ranks, 2):
+                peer = rank ^ offset
+                for owner in held:
+                    chunk(rank, "out", owner).copy(peer, "out", owner)
+    return program

@@ -1,0 +1,41 @@
+"""All Pairs AllReduce (paper section 7.1.2).
+
+A two-communication-step algorithm targeting small buffers: every rank
+*gathers* one chunk from every other rank into scratch, locally reduces,
+then *broadcasts* its reduced chunk to everyone. Same volume as Ring,
+but 2 steps instead of 2R-2, so latency-bound sizes win.
+"""
+
+from __future__ import annotations
+
+from ..core.collectives import AllReduce
+from ..core.program import MSCCLProgram, chunk
+
+
+def allpairs_allreduce(num_ranks: int, *, instances: int = 1,
+                       protocol: str = "LL",
+                       name: str = None) -> MSCCLProgram:
+    """Build the All Pairs AllReduce (chunk ``r`` is owned by rank ``r``)."""
+    collective = AllReduce(num_ranks, chunk_factor=num_ranks, in_place=True)
+    label = name or f"allpairs_allreduce_r{instances}_{protocol.lower()}"
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        # Step 1: every rank gathers its own chunk index from all peers.
+        for owner in range(num_ranks):
+            for peer in range(num_ranks):
+                if peer == owner:
+                    continue
+                slot = peer if peer < owner else peer - 1
+                chunk(peer, "in", owner).copy(owner, "sc", slot)
+        # Local reduction of the gathered copies into the owned chunk.
+        for owner in range(num_ranks):
+            total = chunk(owner, "in", owner)
+            for slot in range(num_ranks - 1):
+                total = total.reduce(chunk(owner, "sc", slot))
+        # Step 2: broadcast the reduced chunk to every other rank.
+        for owner in range(num_ranks):
+            result = chunk(owner, "in", owner)
+            for peer in range(num_ranks):
+                if peer != owner:
+                    result.copy(peer, "in", owner)
+    return program

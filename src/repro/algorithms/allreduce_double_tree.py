@@ -1,0 +1,96 @@
+"""Double binary tree AllReduce (NCCL's Tree algorithm, done fully).
+
+A single binary tree leaves half the ranks as leaves that only inject
+data, wasting their send bandwidth during the reduce phase. NCCL's
+trick: build two complementary trees, so each rank is interior in one
+tree and a leaf in the other, and split the buffer between them.
+Reduce flows up each tree to its root, then broadcast flows back down;
+with both trees working on half the data each, every link stays busy.
+Here the second tree is the mirror of the first (rank R-1-p at
+position p), which makes the first tree's leaves interior in the
+second.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.collectives import AllReduce
+from ..core.program import MSCCLProgram, chunk
+
+
+def _tree_positions(num_ranks: int, tree: int) -> List[int]:
+    """Rank occupying each tree position.
+
+    Tree 0 is the identity layout; tree 1 is its mirror (rank R-1-p at
+    position p), which makes tree 0's leaves tree 1's interior nodes —
+    NCCL's complementary-tree construction.
+    """
+    if tree == 0:
+        return list(range(num_ranks))
+    return [num_ranks - 1 - p for p in range(num_ranks)]
+
+
+def _children_of(position: int, num_ranks: int) -> List[int]:
+    kids = [2 * position + 1, 2 * position + 2]
+    return [k for k in kids if k < num_ranks]
+
+
+def double_binary_tree_allreduce(
+        num_ranks: int, *, instances: int = 1, protocol: str = "LL128",
+        chunk_factor: int = 2,
+        name: Optional[str] = None) -> MSCCLProgram:
+    """Build the double-tree AllReduce.
+
+    ``chunk_factor`` must be even: the low half of the chunks reduces
+    over tree 0, the high half over tree 1 (shifted by one rank).
+    """
+    if chunk_factor % 2:
+        raise ValueError("chunk_factor must be even (one half per tree)")
+    collective = AllReduce(num_ranks, chunk_factor=chunk_factor,
+                           in_place=True)
+    label = name or (
+        f"double_tree_allreduce_{num_ranks}_r{instances}"
+        f"_{protocol.lower()}"
+    )
+    half = chunk_factor // 2
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        for tree, channel in ((0, 0), (1, 1)):
+            order = _tree_positions(num_ranks, tree)
+            indices = range(tree * half, tree * half + half)
+            for index in indices:
+                # Reduce up: deepest positions first.
+                for position in reversed(range(num_ranks)):
+                    rank = order[position]
+                    for child_pos in _children_of(position, num_ranks):
+                        child = order[child_pos]
+                        acc = chunk(rank, "in", index)
+                        acc.reduce(chunk(child, "in", index), ch=channel)
+                # Broadcast down: pre-order from the root.
+                for position in range(num_ranks):
+                    rank = order[position]
+                    for child_pos in _children_of(position, num_ranks):
+                        child = order[child_pos]
+                        chunk(rank, "in", index).copy(
+                            child, "in", index, ch=channel
+                        )
+    return program
+
+
+def tree_structure(num_ranks: int) -> Dict[int, Dict[str, List[int]]]:
+    """Diagnostic: per-rank roles in both trees (for tests/inspection).
+
+    Returns rank -> {"tree0": children, "tree1": children}.
+    """
+    roles: Dict[int, Dict[str, List[int]]] = {
+        rank: {"tree0": [], "tree1": []} for rank in range(num_ranks)
+    }
+    for tree in (0, 1):
+        order = _tree_positions(num_ranks, tree)
+        for position in range(num_ranks):
+            rank = order[position]
+            roles[rank][f"tree{tree}"] = [
+                order[k] for k in _children_of(position, num_ranks)
+            ]
+    return roles

@@ -1,0 +1,63 @@
+"""Hierarchical AllReduce — the paper's running example (section 2).
+
+Four phases over N nodes with G GPUs each and N*G chunks:
+
+1. intra-node Ring ReduceScatter   (channel 0, optionally parallelized)
+2. inter-node Ring ReduceScatter   (channel 1)
+3. inter-node Ring AllGather       (channel 1)
+4. intra-node Ring AllGather       (channel 2, optionally parallelized)
+
+Aggregation: the intra-node phases move N chunks per step (the
+multi-count references of Figure 3), amortizing per-send startup cost.
+"""
+
+from __future__ import annotations
+
+from ..core.collectives import AllReduce
+from ..core.directives import parallelize
+from ..core.program import MSCCLProgram
+from .common import ring_all_gather, ring_reduce_scatter
+
+
+def hierarchical_allreduce(num_nodes: int, gpus_per_node: int, *,
+                           instances: int = 1, protocol: str = "Simple",
+                           intra_parallel: int = 1,
+                           name: str = None) -> MSCCLProgram:
+    """Build the hierarchical AllReduce of paper Figure 3.
+
+    ``intra_parallel`` applies ``parallelize(...)`` to the intra-node
+    phases (the paper uses N); ``instances`` is the whole-program factor.
+    """
+    n, g = num_nodes, gpus_per_node
+    num_ranks = n * g
+    collective = AllReduce(num_ranks, chunk_factor=num_ranks, in_place=True)
+    label = name or (
+        f"hierarchical_allreduce_{n}x{g}_r{instances}_{protocol.lower()}"
+    )
+    with MSCCLProgram(label, collective, gpus_per_node=g,
+                      protocol=protocol, instances=instances) as program:
+        # Phase 1: intra-node ReduceScatter (aggregated N-chunk sends).
+        for node in range(n):
+            local_ranks = [node * g + i for i in range(g)]
+            if intra_parallel > 1:
+                with parallelize(intra_parallel):
+                    ring_reduce_scatter(local_ranks, 0, n, ch=0)
+            else:
+                ring_reduce_scatter(local_ranks, 0, n, ch=0)
+
+        # Phases 2+3: inter-node ReduceScatter then AllGather among the
+        # GPUs with the same intra-node index.
+        for gpu in range(g):
+            cross_ranks = [i * g + gpu for i in range(n)]
+            ring_reduce_scatter(cross_ranks, gpu * n, 1, ch=1)
+            ring_all_gather(cross_ranks, gpu * n, 1, ch=1)
+
+        # Phase 4: intra-node AllGather.
+        for node in range(n):
+            local_ranks = [node * g + i for i in range(g)]
+            if intra_parallel > 1:
+                with parallelize(intra_parallel):
+                    ring_all_gather(local_ranks, 0, n, ch=2)
+            else:
+                ring_all_gather(local_ranks, 0, n, ch=2)
+    return program

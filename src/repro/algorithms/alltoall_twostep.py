@@ -1,0 +1,70 @@
+"""Two-Step AllToAll (paper section 7.3, Figure 9).
+
+A naive AllToAll sends one small chunk per (source, destination) GPU
+pair, which crosses InfiniBand N*G*G times per node pair with heavy
+per-send overhead. The Two-Step algorithm first gathers, inside each
+source node, all chunks headed for destination node ``m`` onto the one
+local GPU whose index matches the sender's, then ships them as a single
+aggregated IB transfer.
+"""
+
+from __future__ import annotations
+
+from ..core.collectives import AllToAll
+from ..core.program import MSCCLProgram, chunk
+
+
+def twostep_alltoall(num_nodes: int, gpus_per_node: int, *,
+                     instances: int = 1, protocol: str = "Simple",
+                     name: str = None) -> MSCCLProgram:
+    """Build the Two-Step AllToAll of paper Figure 9."""
+    n, g = num_nodes, gpus_per_node
+    num_ranks = n * g
+    collective = AllToAll(num_ranks, chunk_factor=1)
+    label = name or (
+        f"twostep_alltoall_{n}x{g}_r{instances}_{protocol.lower()}"
+    )
+    with MSCCLProgram(label, collective, gpus_per_node=g,
+                      protocol=protocol, instances=instances) as program:
+        for dst_node in range(n):
+            for dst_gpu in range(g):
+                for src_node in range(n):
+                    for src_gpu in range(g):
+                        c = chunk((src_node, src_gpu), "in",
+                                  (dst_node, dst_gpu))
+                        if dst_node == src_node:
+                            # Intra-node traffic goes straight to the
+                            # destination GPU's output slot.
+                            c.copy((dst_node, dst_gpu), "out",
+                                   (src_node, src_gpu))
+                        else:
+                            # Step 1: gather onto the staging GPU of the
+                            # source node (local index == sender's).
+                            c.copy((src_node, dst_gpu), "sc",
+                                   (dst_node, src_gpu))
+                # Step 2: one aggregated IB send of all G staged chunks.
+                for src_node in range(n):
+                    if src_node == dst_node:
+                        continue
+                    staged = chunk((src_node, dst_gpu), "sc",
+                                   dst_node * g, count=g)
+                    staged.copy((dst_node, dst_gpu), "out", src_node * g)
+    return program
+
+
+def naive_alltoall(num_ranks: int, *, instances: int = 1,
+                   protocol: str = "Simple", gpus_per_node: int = None,
+                   name: str = None) -> MSCCLProgram:
+    """The one-step AllToAll: a direct send per (src, dst) pair.
+
+    This is both NCCL's AllToAll (point-to-point sends between all
+    GPUs) and the paper's reference for what Two-Step improves on.
+    """
+    collective = AllToAll(num_ranks, chunk_factor=1)
+    label = name or f"naive_alltoall_{num_ranks}_r{instances}"
+    with MSCCLProgram(label, collective, gpus_per_node=gpus_per_node,
+                      protocol=protocol, instances=instances) as program:
+        for src in range(num_ranks):
+            for dst in range(num_ranks):
+                chunk(src, "in", dst).copy(dst, "out", src)
+    return program

@@ -1,0 +1,79 @@
+"""AllToNext — the paper's custom collective (section 7.4, Figure 10).
+
+GPU ``i`` sends its buffer to GPU ``i+1`` (the last sends nothing).
+Within a node that is a direct NVLink copy; *across* a node boundary the
+sending GPU scatters its buffer over helper GPUs of its node, each
+forwards its shard over its own InfiniBand NIC, and the shards gather on
+the destination GPU — using every NIC in the node instead of one.
+
+``helpers`` controls the scatter width; it defaults to the GPU count and
+should match the node's NIC count (scattering wider than the NICs only
+adds hops — on a DGX-2, 8 helpers cover all 8 NICs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.collectives import AllToNext
+from ..core.errors import ProgramError
+from ..core.program import MSCCLProgram, chunk
+
+
+def alltonext(num_nodes: int, gpus_per_node: int, *,
+              instances: int = 1, protocol: str = "Simple",
+              helpers: Optional[int] = None,
+              name: str = None) -> MSCCLProgram:
+    """Build the NIC-parallel AllToNext algorithm of Figure 10."""
+    n, g = num_nodes, gpus_per_node
+    num_ranks = n * g
+    shards = helpers or g
+    if not 1 <= shards <= g:
+        raise ProgramError(
+            f"helpers ({shards}) must be between 1 and gpus_per_node ({g})"
+        )
+    collective = AllToNext(num_ranks, chunk_factor=shards)
+    label = name or f"alltonext_{n}x{g}_r{instances}_{protocol.lower()}"
+    with MSCCLProgram(label, collective, gpus_per_node=g,
+                      protocol=protocol, instances=instances) as program:
+        for rank in range(num_ranks - 1):
+            nxt = rank + 1
+            src = chunk(rank, "in", 0, count=shards)
+            if rank // g == nxt // g:
+                # Same node: one direct NVLink copy of the whole buffer.
+                src.copy(nxt, "out", 0)
+                continue
+            # Node boundary: scatter across helper GPUs, forward one
+            # shard per NIC, gather on the destination.
+            node_base = (rank // g) * g
+            next_base = (nxt // g) * g
+            for shard in range(shards):
+                piece = chunk(rank, "in", shard)
+                helper = node_base + shard
+                if helper != rank:
+                    piece = piece.copy(helper, "sc", 0)
+                landed = piece.copy(next_base + shard, "sc", 1)
+                landed.copy(nxt, "out", shard)
+    return program
+
+
+def naive_alltonext(num_nodes: int, gpus_per_node: int, *,
+                    instances: int = 1, protocol: str = "Simple",
+                    helpers: Optional[int] = None,
+                    name: str = None) -> MSCCLProgram:
+    """The baseline: every GPU sends its whole buffer directly to the
+    next GPU, so each node-boundary hop uses a single NIC.
+
+    ``helpers`` only sets the chunk count so buffers are comparable with
+    the optimized program.
+    """
+    n, g = num_nodes, gpus_per_node
+    num_ranks = n * g
+    shards = helpers or g
+    collective = AllToNext(num_ranks, chunk_factor=shards)
+    label = name or f"naive_alltonext_{n}x{g}_r{instances}"
+    with MSCCLProgram(label, collective, gpus_per_node=g,
+                      protocol=protocol, instances=instances) as program:
+        for rank in range(num_ranks - 1):
+            chunk(rank, "in", 0, count=shards).copy(rank + 1, "out", 0)
+    return program

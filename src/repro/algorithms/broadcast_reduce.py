@@ -1,0 +1,108 @@
+"""Broadcast and Reduce algorithms: chains and binary trees.
+
+Rooted collectives round out the MPI set. The chain variants pipeline
+well for large buffers (every link busy in steady state); the tree
+variants take log(R) hops and win at small sizes — the same
+latency/bandwidth trade the AllReduce algorithms exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.collectives import Broadcast, Reduce
+from ..core.program import MSCCLProgram, chunk
+
+
+def _tree_children(position: int, size: int) -> List[int]:
+    kids = [2 * position + 1, 2 * position + 2]
+    return [k for k in kids if k < size]
+
+
+def _rooted_order(num_ranks: int, root: int) -> List[int]:
+    """Rank order with the root first (tree positions map through it)."""
+    return [root] + [r for r in range(num_ranks) if r != root]
+
+
+def chain_broadcast(num_ranks: int, *, root: int = 0,
+                    chunk_factor: int = 4, instances: int = 1,
+                    protocol: str = "Simple",
+                    name: Optional[str] = None) -> MSCCLProgram:
+    """Pipeline broadcast: chunks flow down a chain of ranks.
+
+    Splitting the buffer into ``chunk_factor`` chunks lets chunk k+1
+    enter the chain while chunk k is still propagating.
+    """
+    collective = Broadcast(num_ranks, chunk_factor=chunk_factor, root=root)
+    order = _rooted_order(num_ranks, root)
+    label = name or f"chain_broadcast_{num_ranks}_r{instances}"
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        for index in range(chunk_factor):
+            c = chunk(root, "in", index)
+            c = c.copy(root, "out", index)
+            for nxt in order[1:]:
+                c = c.copy(nxt, "out", index)
+    return program
+
+
+def tree_broadcast(num_ranks: int, *, root: int = 0,
+                   chunk_factor: int = 1, instances: int = 1,
+                   protocol: str = "LL",
+                   name: Optional[str] = None) -> MSCCLProgram:
+    """Binary-tree broadcast: log-depth for latency-bound sizes."""
+    collective = Broadcast(num_ranks, chunk_factor=chunk_factor, root=root)
+    order = _rooted_order(num_ranks, root)
+    label = name or f"tree_broadcast_{num_ranks}_r{instances}"
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        for index in range(chunk_factor):
+            chunk(root, "in", index).copy(root, "out", index)
+            # Pre-order: parents forward before children do.
+            for position in range(num_ranks):
+                rank = order[position]
+                for child_pos in _tree_children(position, num_ranks):
+                    child = order[child_pos]
+                    chunk(rank, "out", index).copy(child, "out", index)
+    return program
+
+
+def chain_reduce(num_ranks: int, *, root: int = 0,
+                 chunk_factor: int = 4, instances: int = 1,
+                 protocol: str = "Simple",
+                 name: Optional[str] = None) -> MSCCLProgram:
+    """Pipeline reduce: partial sums flow up a chain toward the root."""
+    collective = Reduce(num_ranks, chunk_factor=chunk_factor, root=root)
+    order = _rooted_order(num_ranks, root)
+    label = name or f"chain_reduce_{num_ranks}_r{instances}"
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        for index in range(chunk_factor):
+            # Accumulate from the chain's tail toward the root.
+            c = chunk(order[-1], "in", index)
+            for rank in reversed(order[:-1]):
+                c = chunk(rank, "in", index).reduce(c)
+            c.copy(root, "out", index)
+    return program
+
+
+def tree_reduce(num_ranks: int, *, root: int = 0,
+                chunk_factor: int = 1, instances: int = 1,
+                protocol: str = "LL",
+                name: Optional[str] = None) -> MSCCLProgram:
+    """Binary-tree reduce: children accumulate into parents, post-order."""
+    collective = Reduce(num_ranks, chunk_factor=chunk_factor, root=root)
+    order = _rooted_order(num_ranks, root)
+    label = name or f"tree_reduce_{num_ranks}_r{instances}"
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        for index in range(chunk_factor):
+            # Deepest positions first so subtrees finish before parents.
+            for position in reversed(range(num_ranks)):
+                rank = order[position]
+                for child_pos in _tree_children(position, num_ranks):
+                    child = order[child_pos]
+                    acc = chunk(rank, "in", index)
+                    acc.reduce(chunk(child, "in", index))
+            chunk(root, "in", index).copy(root, "out", index)
+    return program

@@ -1,0 +1,48 @@
+"""Shared MSCCLang helper routines (paper Figure 3b).
+
+These are the Ring ReduceScatter / AllGather building blocks used by
+several algorithms, written exactly in the paper's style: route a chunk
+around a ring of ranks, reducing on the first traversal and copying on
+the second.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.program import chunk
+
+
+def ring_reduce_scatter(ranks: Sequence[int], offset: int, count: int,
+                        buffer: str = "in",
+                        ch: Optional[int] = None) -> None:
+    """Ring ReduceScatter over ``ranks``.
+
+    ``offset`` indexes into the buffer; ``count`` chunks move per step
+    (the aggregation directive of section 5.1). After this, rank
+    ``ranks[r]`` holds the reduced chunks at ``offset + r*count``.
+    """
+    n = len(ranks)
+    for r in range(n):
+        index = offset + r * count
+        c = chunk(ranks[(r + 1) % n], buffer, index, count)
+        for step in range(1, n):
+            nxt = ranks[(step + r + 1) % n]
+            c = chunk(nxt, buffer, index, count).reduce(c, ch=ch)
+
+
+def ring_all_gather(ranks: Sequence[int], offset: int, count: int,
+                    buffer: str = "in",
+                    ch: Optional[int] = None) -> None:
+    """Ring AllGather over ``ranks``.
+
+    Rank ``ranks[r]``'s chunks at ``offset + r*count`` are replicated to
+    every rank in the ring.
+    """
+    n = len(ranks)
+    for r in range(n):
+        index = offset + r * count
+        c = chunk(ranks[r], buffer, index, count)
+        for step in range(n - 1):
+            nxt = ranks[(step + r + 1) % n]
+            c = c.copy(nxt, buffer, index, count, ch=ch)

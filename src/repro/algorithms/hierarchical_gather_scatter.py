@@ -1,0 +1,102 @@
+"""Two-level hierarchical AllGather and ReduceScatter.
+
+The multi-node decompositions that generalize the hierarchical
+AllReduce's halves (section 2): AllGather runs inter-node rings among
+same-index GPUs first (each pair on its own NIC), then intra-node
+rings spread everything over NVLink; ReduceScatter is the mirror —
+intra-node reduction toward the rank that will own each segment, then
+inter-node rings that finish the sums on the owners' NICs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.collectives import AllGather, ReduceScatter
+from ..core.program import MSCCLProgram, chunk
+
+
+def hierarchical_allgather(num_nodes: int, gpus_per_node: int, *,
+                           instances: int = 1, protocol: str = "Simple",
+                           name: Optional[str] = None) -> MSCCLProgram:
+    """Inter-node ring AllGather per GPU index, then intra-node rings.
+
+    In-place: rank (n, g)'s chunk starts at output index n*G+g.
+    """
+    n, g = num_nodes, gpus_per_node
+    num_ranks = n * g
+    collective = AllGather(num_ranks, chunk_factor=1, in_place=True)
+    label = name or (
+        f"hier_allgather_{n}x{g}_r{instances}_{protocol.lower()}"
+    )
+    with MSCCLProgram(label, collective, gpus_per_node=g,
+                      protocol=protocol, instances=instances) as program:
+        # Phase 1: rings across nodes among same-index GPUs (channel 0).
+        # After this, GPU (m, gpu) holds the chunks of every (node, gpu).
+        for gpu in range(g):
+            cross_ranks = [node * g + gpu for node in range(n)]
+            for position, owner in enumerate(cross_ranks):
+                c = chunk(owner, "out", owner)
+                for step in range(n - 1):
+                    nxt = cross_ranks[(position + 1 + step) % n]
+                    c = c.copy(nxt, "out", owner, ch=0)
+        # Phase 2: intra-node rings spread each gathered chunk to the
+        # node's other GPUs (channel 1).
+        for node in range(n):
+            local_ranks = [node * g + i for i in range(g)]
+            for position, holder in enumerate(local_ranks):
+                gpu = holder % g
+                for source_node in range(n):
+                    owner = source_node * g + gpu
+                    c = chunk(holder, "out", owner)
+                    for step in range(g - 1):
+                        nxt = local_ranks[(position + 1 + step) % g]
+                        c = c.copy(nxt, "out", owner, ch=1)
+    return program
+
+
+def hierarchical_reducescatter(num_nodes: int, gpus_per_node: int, *,
+                               instances: int = 1,
+                               protocol: str = "Simple",
+                               name: Optional[str] = None
+                               ) -> MSCCLProgram:
+    """Aggregated intra-node ReduceScatter, then inter-node rings.
+
+    The first half of the hierarchical AllReduce as a standalone
+    (in-place) collective: rank (n, g) ends with the fully reduced
+    segment at index n*G+g of the canonical buffer.
+    """
+    n, g = num_nodes, gpus_per_node
+    num_ranks = n * g
+    collective = ReduceScatter(num_ranks, chunk_factor=1, in_place=True)
+    label = name or (
+        f"hier_reducescatter_{n}x{g}_r{instances}_{protocol.lower()}"
+    )
+    with MSCCLProgram(label, collective, gpus_per_node=g,
+                      protocol=protocol, instances=instances) as program:
+        # Phase 1: intra-node ReduceScatter on channel 0. GPU (node, g)
+        # collects the intra-node sums of the chunks destined for GPU
+        # index g across all nodes — a strided set {m*G+g}, so the
+        # chunks ring individually (no contiguous aggregation here).
+        for node in range(n):
+            local_ranks = [node * g + i for i in range(g)]
+            for gpu in range(g):
+                for source_node in range(n):
+                    index = source_node * g + gpu
+                    c = chunk(local_ranks[(gpu + 1) % g], "in", index)
+                    for step in range(1, g):
+                        nxt = local_ranks[(gpu + 1 + step) % g]
+                        c = chunk(nxt, "in", index).reduce(c, ch=0)
+        # Phase 2: inter-node rings among same-index GPUs on channel 1;
+        # the fully reduced chunk for rank (i, g) lands at index i*G+g,
+        # exactly the rank's own segment.
+        for gpu in range(g):
+            cross_ranks = [node * g + gpu for node in range(n)]
+            for landing_node in range(n):
+                index = landing_node * g + gpu
+                c = chunk(cross_ranks[(landing_node + 1) % n], "in",
+                          index)
+                for step in range(1, n):
+                    nxt = cross_ranks[(landing_node + 1 + step) % n]
+                    c = chunk(nxt, "in", index).reduce(c, ch=1)
+    return program

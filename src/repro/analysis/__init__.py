@@ -1,0 +1,73 @@
+"""Sweeps, speedups, tables, bounds, tuning, and workload models."""
+
+from .autotune import (
+    Candidate,
+    TuningResult,
+    build_registry,
+    default_space,
+    tune,
+)
+from .bounds import (
+    Bound,
+    allgather_bound,
+    allreduce_bound,
+    alltoall_bound,
+    bound_for,
+    efficiency,
+    reducescatter_bound,
+)
+from .report import build_report, collect_results, efficiency_audit
+from .end_to_end import (
+    CollectiveCall,
+    WorkloadModel,
+    inference_serving_step,
+    moe_training_step,
+)
+from .sweep import (
+    GiB,
+    KiB,
+    MiB,
+    Series,
+    SweepResult,
+    compile_for,
+    format_size,
+    ir_timer,
+    run_sweep,
+    size_grid,
+)
+from .tables import latency_table, speedup_table, summary_lines
+
+__all__ = [
+    "Bound",
+    "Candidate",
+    "CollectiveCall",
+    "TuningResult",
+    "allgather_bound",
+    "allreduce_bound",
+    "alltoall_bound",
+    "bound_for",
+    "build_report",
+    "collect_results",
+    "efficiency_audit",
+    "build_registry",
+    "default_space",
+    "efficiency",
+    "reducescatter_bound",
+    "tune",
+    "GiB",
+    "KiB",
+    "MiB",
+    "Series",
+    "SweepResult",
+    "WorkloadModel",
+    "compile_for",
+    "format_size",
+    "inference_serving_step",
+    "ir_timer",
+    "latency_table",
+    "moe_training_step",
+    "run_sweep",
+    "size_grid",
+    "speedup_table",
+    "summary_lines",
+]

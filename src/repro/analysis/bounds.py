@@ -1,0 +1,132 @@
+"""Analytic alpha-beta lower bounds for collectives on a topology.
+
+Classic results (Chan et al., "Collective communication: theory,
+practice, and experience"): any AllReduce needs ceil(log2 R) latency
+steps and moves at least 2*(R-1)/R of the buffer through each rank's
+slowest port; AllGather/ReduceScatter need half of that, AllToAll needs
+(R-1)/R per rank. The bounds serve two purposes:
+
+* sanity: the simulator can never beat them (tested property), and
+* insight: `efficiency()` says how close an algorithm gets, the same
+  judgment the paper applies when comparing schedules.
+
+These are machine bounds, not algorithm models: latency uses the
+fastest relevant hop, bandwidth the tightest cut (node egress NVLink
+for single node, NIC aggregate for multi-node).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..topology.model import Topology
+
+
+@dataclass(frozen=True)
+class Bound:
+    """A latency + bandwidth lower bound: time >= latency + bytes/rate."""
+
+    latency_us: float
+    wire_bytes_per_rank: float
+    bandwidth_gbps: float
+
+    @property
+    def bandwidth_us(self) -> float:
+        return self.wire_bytes_per_rank / (self.bandwidth_gbps * 1e3)
+
+    def time_us(self) -> float:
+        return self.latency_us + self.bandwidth_us
+
+
+def _min_alpha(topology: Topology) -> float:
+    if topology.num_nodes > 1:
+        # Some step must cross nodes for a global collective.
+        return topology.machine.nvlink_alpha
+    return topology.machine.nvlink_alpha
+
+
+def _rank_bandwidth(topology: Topology) -> float:
+    """Best-case per-rank injection bandwidth (GB/s)."""
+    return topology.machine.nvlink_bandwidth
+
+
+def _cross_node_bandwidth_per_rank(topology: Topology) -> float:
+    """Per-rank share of a node's aggregate NIC bandwidth (GB/s)."""
+    machine = topology.machine
+    total = machine.nics_per_node * machine.ib_bandwidth
+    return total / machine.gpus_per_node
+
+
+def allreduce_bound(topology: Topology, buffer_bytes: float) -> Bound:
+    """Lower bound for AllReduce of a per-rank buffer."""
+    ranks = topology.num_ranks
+    latency = math.ceil(math.log2(max(ranks, 2))) * _min_alpha(topology)
+    wire = 2 * buffer_bytes * (ranks - 1) / ranks
+    bandwidth = _rank_bandwidth(topology)
+    if topology.num_nodes > 1:
+        # The node boundary is the tighter cut: 2B/G per rank must cross.
+        per_rank_cross = 2 * buffer_bytes * (
+            topology.num_nodes - 1) / topology.num_nodes
+        cross_rate = _cross_node_bandwidth_per_rank(topology)
+        if per_rank_cross / cross_rate > wire / bandwidth:
+            return Bound(latency, per_rank_cross, cross_rate)
+    return Bound(latency, wire, bandwidth)
+
+
+def allgather_bound(topology: Topology, buffer_bytes: float) -> Bound:
+    """Lower bound for AllGather producing ``buffer_bytes`` per rank."""
+    ranks = topology.num_ranks
+    latency = math.ceil(math.log2(max(ranks, 2))) * _min_alpha(topology)
+    wire = buffer_bytes * (ranks - 1) / ranks
+    return Bound(latency, wire, _rank_bandwidth(topology))
+
+
+def reducescatter_bound(topology: Topology,
+                        buffer_bytes: float) -> Bound:
+    """Lower bound for ReduceScatter of a per-rank input buffer."""
+    return allgather_bound(topology, buffer_bytes)
+
+
+def alltoall_bound(topology: Topology, buffer_bytes: float) -> Bound:
+    """Lower bound for AllToAll of a per-rank buffer."""
+    ranks = topology.num_ranks
+    latency = _min_alpha(topology)  # one step suffices in principle
+    wire = buffer_bytes * (ranks - 1) / ranks
+    bandwidth = _rank_bandwidth(topology)
+    if topology.num_nodes > 1:
+        per_rank_cross = buffer_bytes * (
+            topology.num_nodes - 1) / topology.num_nodes
+        cross_rate = _cross_node_bandwidth_per_rank(topology)
+        if per_rank_cross / cross_rate > wire / bandwidth:
+            return Bound(latency, per_rank_cross, cross_rate)
+    return Bound(latency, wire, bandwidth)
+
+
+BOUNDS = {
+    "allreduce": allreduce_bound,
+    "allgather": allgather_bound,
+    "reducescatter": reducescatter_bound,
+    "alltoall": alltoall_bound,
+}
+
+
+def bound_for(collective_name: str, topology: Topology,
+              buffer_bytes: float) -> Bound:
+    """Dispatch on the collective's name (as stored in the IR)."""
+    try:
+        fn = BOUNDS[collective_name]
+    except KeyError:
+        raise ValueError(
+            f"no analytic bound for collective {collective_name!r}; "
+            f"known: {sorted(BOUNDS)}"
+        ) from None
+    return fn(topology, buffer_bytes)
+
+
+def efficiency(measured_us: float, bound: Bound) -> float:
+    """Fraction of the lower bound achieved (1.0 = optimal)."""
+    floor = bound.time_us()
+    if measured_us <= 0:
+        return 0.0
+    return min(1.0, floor / measured_us)

@@ -1,0 +1,93 @@
+"""End-to-end workload model (paper section 7.6).
+
+The paper reports 1.22-1.29x serving and 1.10-1.89x training speedups
+from swapping NCCL collectives for MSCCLang ones. Workload-level gain
+is governed by the communication fraction of the step and the collective
+speedup (Amdahl): this module models a training/serving step as compute
+time plus a set of collective calls, prices the calls with either the
+NCCL baseline or the custom algorithms, and reports the step speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+
+@dataclass
+class CollectiveCall:
+    """One collective invocation per step: which, how big, how often."""
+
+    name: str
+    buffer_bytes: float
+    calls_per_step: int = 1
+
+
+@dataclass
+class WorkloadModel:
+    """A distributed ML step: compute plus collective calls.
+
+    ``baseline_timers``/``optimized_timers`` map collective names to
+    ``time_us(buffer_bytes)`` functions (usually an NcclModel and a set
+    of compiled MSCCLang algorithms).
+    """
+
+    name: str
+    compute_us: float
+    calls: List[CollectiveCall] = field(default_factory=list)
+
+    def step_time_us(self, timers: Dict[str, Callable[[float], float]],
+                     overlap: float = 0.0) -> float:
+        """Step latency with the given collective implementations.
+
+        ``overlap`` in [0, 1) is the fraction of communication hidden
+        under compute (e.g. gradient-bucket overlap in data parallel
+        training).
+        """
+        comm = sum(
+            call.calls_per_step * timers[call.name](call.buffer_bytes)
+            for call in self.calls
+        )
+        return self.compute_us + (1.0 - overlap) * comm
+
+    def communication_fraction(
+            self, timers: Dict[str, Callable[[float], float]]) -> float:
+        """Share of the (non-overlapped) step spent communicating."""
+        total = self.step_time_us(timers)
+        return 1.0 - self.compute_us / total
+
+    def speedup(self, baseline_timers, optimized_timers,
+                overlap: float = 0.0) -> float:
+        """Step speedup from switching collective implementations."""
+        return (self.step_time_us(baseline_timers, overlap)
+                / self.step_time_us(optimized_timers, overlap))
+
+
+def moe_training_step(num_ranks: int, *, expert_mb: float = 64.0,
+                      dense_mb: float = 128.0,
+                      compute_ms: float = 35.0) -> WorkloadModel:
+    """A Mixture-of-Experts step: 2 AllToAlls (dispatch/combine) per
+    layer group plus a gradient AllReduce (the paper's MoE workload)."""
+    mb = 1024 * 1024
+    return WorkloadModel(
+        name=f"moe_training_{num_ranks}gpu",
+        compute_us=compute_ms * 1e3,
+        calls=[
+            CollectiveCall("alltoall", expert_mb * mb, calls_per_step=4),
+            CollectiveCall("allreduce", dense_mb * mb, calls_per_step=1),
+        ],
+    )
+
+
+def inference_serving_step(*, hidden_mb: float = 8.0,
+                           compute_ms: float = 4.0) -> WorkloadModel:
+    """A tensor-parallel transformer decode step: small AllReduces after
+    attention and MLP blocks (the paper's Copilot serving workload)."""
+    mb = 1024 * 1024
+    return WorkloadModel(
+        name="tp_inference",
+        compute_us=compute_ms * 1e3,
+        calls=[
+            CollectiveCall("allreduce", hidden_mb * mb, calls_per_step=8),
+        ],
+    )

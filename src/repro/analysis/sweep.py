@@ -1,0 +1,124 @@
+"""Buffer-size sweeps: the workhorse behind every figure bench.
+
+A sweep takes named *configurations* (compiled IRs or arbitrary
+``time_us(buffer_bytes)`` callables), runs them over a geometric grid of
+buffer sizes on one topology, and returns a :class:`SweepResult` with
+per-size latencies, ready for speedup computation and table rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.collectives import Collective
+from ..core.compiler import CompilerOptions, compile_program
+from ..core.ir import MscclIr
+from ..core.program import MSCCLProgram
+from ..runtime.simulator import IrSimulator, SimConfig
+from ..topology.model import Topology
+
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+
+def size_grid(start_bytes: int, end_bytes: int) -> List[int]:
+    """Powers of two from start to end inclusive (the figures' x axes)."""
+    sizes = []
+    size = start_bytes
+    while size <= end_bytes:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def format_size(nbytes: float) -> str:
+    """1KB-style labels matching the paper's axis ticks."""
+    if nbytes >= GiB:
+        return f"{nbytes / GiB:g}GB"
+    if nbytes >= MiB:
+        return f"{nbytes / MiB:g}MB"
+    return f"{nbytes / KiB:g}KB"
+
+
+@dataclass
+class Series:
+    """One line of a figure: latency per buffer size."""
+
+    label: str
+    sizes: List[int]
+    times_us: List[float]
+
+    def speedup_over(self, baseline: "Series") -> List[float]:
+        if self.sizes != baseline.sizes:
+            raise ValueError(
+                f"size grids differ between {self.label!r} and "
+                f"{baseline.label!r}"
+            )
+        return [
+            b / t for t, b in zip(self.times_us, baseline.times_us)
+        ]
+
+
+@dataclass
+class SweepResult:
+    """All series of one experiment over a common size grid."""
+
+    title: str
+    sizes: List[int]
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    def add(self, series: Series) -> None:
+        if series.sizes != self.sizes:
+            raise ValueError("series grid does not match sweep grid")
+        self.series[series.label] = series
+
+    def speedups(self, baseline_label: str) -> Dict[str, List[float]]:
+        baseline = self.series[baseline_label]
+        return {
+            label: s.speedup_over(baseline)
+            for label, s in self.series.items()
+            if label != baseline_label
+        }
+
+    def best_speedup(self, label: str, baseline_label: str) -> float:
+        return max(self.series[label].speedup_over(
+            self.series[baseline_label]
+        ))
+
+
+TimeFn = Callable[[float], float]
+Config = Union[MscclIr, TimeFn]
+
+
+def compile_for(topology: Topology, program: MSCCLProgram,
+                options: Optional[CompilerOptions] = None) -> MscclIr:
+    """Compile with the topology's SM limit applied."""
+    options = options or CompilerOptions(
+        max_threadblocks=topology.machine.sm_count
+    )
+    return compile_program(program, options)
+
+
+def ir_timer(ir: MscclIr, topology: Topology, collective: Collective,
+             sim_config: Optional[SimConfig] = None) -> TimeFn:
+    """A ``time_us(buffer_bytes)`` function for a compiled IR."""
+    chunks = collective.sizing_chunks()
+    config = sim_config or SimConfig()
+
+    def time_us(buffer_bytes: float) -> float:
+        sim = IrSimulator(ir, topology, config=config)
+        return sim.run(chunk_bytes=buffer_bytes / chunks).time_us
+
+    return time_us
+
+
+def run_sweep(title: str, sizes: Sequence[int],
+              configs: Dict[str, TimeFn]) -> SweepResult:
+    """Evaluate every configuration's timer over the size grid."""
+    result = SweepResult(title=title, sizes=list(sizes))
+    for label, timer in configs.items():
+        times = [timer(size) for size in sizes]
+        result.add(Series(label=label, sizes=list(sizes), times_us=times))
+    return result

@@ -1,0 +1,65 @@
+"""Rendering sweep results as the tables the benches print.
+
+Each figure bench prints the same rows/series the paper plots: buffer
+sizes down the side, configurations across the top, speedups over the
+figure's baseline in the cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .sweep import SweepResult, format_size
+
+
+def latency_table(result: SweepResult) -> str:
+    """Raw latencies (us) per size and configuration."""
+    labels = list(result.series)
+    rows = [["size"] + labels]
+    for i, size in enumerate(result.sizes):
+        row = [format_size(size)]
+        for label in labels:
+            row.append(f"{result.series[label].times_us[i]:.1f}")
+        rows.append(row)
+    return _render(rows)
+
+
+def speedup_table(result: SweepResult, baseline_label: str) -> str:
+    """Speedup over the baseline per size (the figures' y axes)."""
+    speedups = result.speedups(baseline_label)
+    labels = list(speedups)
+    rows = [["size"] + labels + [baseline_label]]
+    for i, size in enumerate(result.sizes):
+        row = [format_size(size)]
+        for label in labels:
+            row.append(f"{speedups[label][i]:.2f}x")
+        row.append("1.00x")
+        rows.append(row)
+    return _render(rows)
+
+
+def summary_lines(result: SweepResult, baseline_label: str) -> List[str]:
+    """One line per configuration: peak speedup and where it happens."""
+    lines = []
+    for label, values in result.speedups(baseline_label).items():
+        best = max(values)
+        where = result.sizes[values.index(best)]
+        lines.append(
+            f"{label}: up to {best:.2f}x over {baseline_label} "
+            f"(at {format_size(where)})"
+        )
+    return lines
+
+
+def _render(rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(row[col]) for row in rows)
+        for col in range(len(rows[0]))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        cells = [cell.rjust(width) for cell, width in zip(row, widths)]
+        lines.append("  ".join(cells))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

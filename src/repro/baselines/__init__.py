@@ -1,0 +1,17 @@
+"""Cost models of the paper's hand-written comparison implementations."""
+
+from .cuda_p2p_next import CudaAllToNext
+from .cuda_twostep import CudaTwoStepAllToAll
+from .multikernel import extra_kernel_cost, simulate_phases
+from .nccl_composed import ComposedHierarchicalAllReduce
+from .sccl_runtime import SCCL_DIRECT, ScclRuntimeAllGather
+
+__all__ = [
+    "ComposedHierarchicalAllReduce",
+    "CudaAllToNext",
+    "CudaTwoStepAllToAll",
+    "SCCL_DIRECT",
+    "ScclRuntimeAllGather",
+    "extra_kernel_cost",
+    "simulate_phases",
+]

@@ -1,0 +1,48 @@
+"""The CUDA point-to-point AllToNext baseline (section 7.4).
+
+"Each GPU directly sends its entire buffer to the next GPU using NCCL's
+send and receive primitives": one unparallelized transfer per hop, so a
+node-boundary hop uses exactly one InfiniBand NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.compiler import CompilerOptions, compile_program
+from ..core.ir import MscclIr
+from ..runtime.simulator import IrSimulator, SimConfig
+from ..topology.model import Topology
+from ..algorithms.alltonext import naive_alltonext
+
+
+class CudaAllToNext:
+    """Cost model of the direct-send AllToNext kernel."""
+
+    def __init__(self, topology: Topology, *, protocol: str = "Simple"):
+        self.topology = topology
+        self.protocol = protocol
+        self._ir: Optional[MscclIr] = None
+
+    def _compiled(self) -> MscclIr:
+        if self._ir is None:
+            machine = self.topology.machine
+            program = naive_alltonext(
+                self.topology.num_nodes,
+                machine.gpus_per_node,
+                instances=1,
+                protocol=self.protocol,
+                name="cuda_p2p_alltonext",
+            )
+            self._ir = compile_program(
+                program,
+                CompilerOptions(max_threadblocks=machine.sm_count),
+            )
+        return self._ir
+
+    def time_us(self, buffer_bytes: float) -> float:
+        """Latency for a per-GPU buffer of ``buffer_bytes``."""
+        ir = self._compiled()
+        chunk_bytes = buffer_bytes / ir.gpus[0].input_chunks
+        sim = IrSimulator(ir, self.topology, config=SimConfig())
+        return sim.run(chunk_bytes=chunk_bytes).time_us

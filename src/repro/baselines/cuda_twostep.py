@@ -1,0 +1,62 @@
+"""The hand-optimized CUDA Two-Step AllToAll baseline (section 7.3).
+
+The paper's comparison kernel implements the same Two-Step algorithm
+with NCCL point-to-point primitives. Relative to the MSCCLang version
+it (a) needs a separate kernel that contiguously rearranges chunks in
+scratch before the aggregated IB send (extra launch + a full pass over
+the staged data + a synchronization), and (b) lacks the compiler's
+multi-thread-block schedule, so it runs unparallelized without tile
+pipelining across the two steps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.compiler import CompilerOptions, compile_program
+from ..core.ir import MscclIr
+from ..runtime.simulator import IrSimulator, SimConfig
+from ..topology.model import Topology
+from ..algorithms.alltoall_twostep import twostep_alltoall
+from .multikernel import extra_kernel_cost
+
+
+class CudaTwoStepAllToAll:
+    """Cost model of the hand-written Two-Step kernel."""
+
+    def __init__(self, topology: Topology, *, protocol: str = "Simple"):
+        self.topology = topology
+        self.protocol = protocol
+        self._ir: Optional[MscclIr] = None
+
+    def _compiled(self) -> MscclIr:
+        if self._ir is None:
+            machine = self.topology.machine
+            program = twostep_alltoall(
+                self.topology.num_nodes,
+                machine.gpus_per_node,
+                instances=1,
+                protocol=self.protocol,
+                name="cuda_twostep_alltoall",
+            )
+            self._ir = compile_program(
+                program,
+                CompilerOptions(max_threadblocks=machine.sm_count),
+            )
+        return self._ir
+
+    def time_us(self, buffer_bytes: float) -> float:
+        """Latency for a per-GPU buffer of ``buffer_bytes``."""
+        num_ranks = self.topology.num_ranks
+        chunk_bytes = buffer_bytes / num_ranks
+        # No tile pipelining across the separate kernels.
+        sim = IrSimulator(
+            self._compiled(), self.topology,
+            config=SimConfig(max_tiles=1),
+        )
+        comm = sim.run(chunk_bytes=chunk_bytes).time_us
+        # The rearrangement kernel touches every cross-node chunk staged
+        # on this GPU: (N-1)/N of the buffer.
+        n = self.topology.num_nodes
+        staged = buffer_bytes * (n - 1) / max(n, 1)
+        return comm + extra_kernel_cost(self.topology, staged)

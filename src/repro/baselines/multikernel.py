@@ -1,0 +1,57 @@
+"""Helpers for modeling multi-kernel (composed) implementations.
+
+The paper repeatedly attributes baseline slowness to composing several
+kernel launches: each launch pays overhead, and nothing pipelines across
+the launch boundary. These helpers price such compositions by summing
+independently simulated phases plus per-launch cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.ir import MscclIr
+from ..runtime.simulator import IrSimulator, SimConfig, SimResult
+from ..topology.model import Topology
+
+
+@dataclass
+class PhaseResult:
+    """One phase (kernel) of a composed implementation."""
+
+    label: str
+    result: SimResult
+
+
+def simulate_phases(phases: List, topology: Topology,
+                    sim_config: Optional[SimConfig] = None) -> float:
+    """Total time (us) of sequential kernels.
+
+    ``phases`` is a list of (label, ir, chunk_bytes) or (label, cost_us)
+    entries; IR phases are simulated (each including its own kernel
+    launch overhead), fixed-cost phases are added as-is.
+    """
+    config = sim_config or SimConfig()
+    total = 0.0
+    for phase in phases:
+        if len(phase) == 2:
+            _label, cost = phase
+            total += cost
+            continue
+        _label, ir, chunk_bytes = phase
+        sim = IrSimulator(ir, topology, config=config)
+        total += sim.run(chunk_bytes=chunk_bytes).time_us
+    return total
+
+
+def extra_kernel_cost(topology: Topology, bytes_touched: float,
+                      memcpy_bandwidth_gbps: float = 900.0) -> float:
+    """Cost (us) of an auxiliary rearrangement kernel.
+
+    A launch plus one pass over ``bytes_touched`` at device memcpy
+    bandwidth — the paper's "separate kernel that copies and
+    contiguously arranges chunks in a scratch buffer".
+    """
+    copy_us = bytes_touched / (memcpy_bandwidth_gbps * 1e3)
+    return topology.machine.kernel_launch_overhead + copy_us

@@ -1,0 +1,85 @@
+"""Hierarchical AllReduce composed from NCCL collective calls (Fig. 8c).
+
+The red line in the paper's Figure 8c: the same four-phase algorithm,
+but each phase is a separate NCCL collective on a sub-communicator.
+Every phase pays a kernel launch, and the phases cannot pipeline — a
+tile cannot enter the inter-node ReduceScatter until the *entire*
+intra-node ReduceScatter kernel finishes (the top half of Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.compiler import CompilerOptions, compile_program
+from ..core.ir import MscclIr
+from ..runtime.simulator import IrSimulator, SimConfig
+from ..topology.model import MachineSpec, Topology
+from ..topology.presets import generic
+from ..algorithms.allgather_ring import ring_allgather, ring_reducescatter
+from ..nccl.ring import select_protocol
+
+
+# Host-side cost of synchronizing a stream between dependent collective
+# calls (the next phase cannot launch until every rank finished the
+# previous one).
+INTER_PHASE_SYNC_US = 12.0
+
+
+class ComposedHierarchicalAllReduce:
+    """Four sequential NCCL kernels: RS(intra), RS(inter), AG(inter),
+    AG(intra)."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._cache: Dict[tuple, Tuple[MscclIr, Topology]] = {}
+
+    def _phase(self, kind: str, ranks: int, protocol: str,
+               cross_node: bool) -> Tuple[MscclIr, Topology]:
+        key = (kind, ranks, protocol, cross_node)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        machine = self.topology.machine
+        builder = (ring_reducescatter if kind == "rs" else ring_allgather)
+        program = builder(ranks, channels=1, instances=8,
+                          protocol=protocol)
+        ir = compile_program(
+            program, CompilerOptions(max_threadblocks=machine.sm_count)
+        )
+        if cross_node:
+            # One GPU per node: the ring hops over InfiniBand. On
+            # machines where GPU pairs share a NIC, halve its bandwidth
+            # to reflect the G concurrent sub-communicators contending.
+            ib = machine.ib_bandwidth / machine.gpus_per_nic
+            phase_topology = generic(1, ranks, ib_bandwidth=ib)
+        else:
+            phase_topology = generic(
+                ranks, 1, nvlink_bandwidth=machine.nvlink_bandwidth
+            )
+        self._cache[key] = (ir, phase_topology)
+        return ir, phase_topology
+
+    def time_us(self, buffer_bytes: float) -> float:
+        """Latency for a per-GPU buffer of ``buffer_bytes``."""
+        n = self.topology.num_nodes
+        g = self.topology.machine.gpus_per_node
+        protocol = select_protocol(buffer_bytes)
+        total = 0.0
+        phases = [
+            ("rs", g, False, buffer_bytes / g),
+            ("rs", n, True, buffer_bytes / (g * n)),
+            ("ag", n, True, buffer_bytes / (g * n)),
+            ("ag", g, False, buffer_bytes / g),
+        ]
+        executed = 0
+        for kind, ranks, cross, chunk_bytes in phases:
+            if ranks < 2:
+                continue
+            ir, phase_topology = self._phase(kind, ranks, protocol, cross)
+            sim = IrSimulator(ir, phase_topology, config=SimConfig())
+            total += sim.run(chunk_bytes=chunk_bytes).time_us
+            executed += 1
+        if executed > 1:
+            total += INTER_PHASE_SYNC_US * (executed - 1)
+        return total

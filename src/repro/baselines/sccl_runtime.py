@@ -1,0 +1,65 @@
+"""The SCCL runtime cost model (paper section 7.5, Figure 11).
+
+SCCL [Cai et al.] executes its synthesized algorithms with its own
+point-to-point protocol: a *direct copy* from source to destination
+buffer, with no intermediate FIFO slots. Compared with MSCCLang's
+NCCL-derived protocols this has a smaller memory footprint — no
+receiver consume pass and no per-slot handover — so it beats MSCCLang's
+Simple protocol at middle sizes, while MSCCLang LL still wins small
+sizes on latency. We model it as a protocol with one giant slot (no
+tiling, hence no pipelining either) plus the simulator's ``direct_copy``
+mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.compiler import CompilerOptions, compile_program
+from ..core.ir import MscclIr
+from ..runtime.protocols import Protocol
+from ..runtime.simulator import IrSimulator, SimConfig
+from ..topology.model import Topology
+from ..algorithms.allgather_sccl import sccl_allgather_122
+
+SCCL_DIRECT = Protocol(
+    name="SCCL-direct",
+    slot_bytes=1 << 40,  # effectively unbounded: whole chunks, no tiling
+    num_slots=1,
+    bandwidth_efficiency=1.0,
+    alpha_overhead=1.0,
+)
+
+
+class ScclRuntimeAllGather:
+    """Simulated SCCL execution of the (1,2,2) AllGather."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._ir: Optional[MscclIr] = None
+
+    def _compiled(self) -> MscclIr:
+        if self._ir is None:
+            program = sccl_allgather_122(
+                self.topology.num_ranks,
+                instances=1,
+                protocol="Simple",  # protocol is overridden at run time
+                name="sccl_allgather_122_native",
+            )
+            self._ir = compile_program(
+                program,
+                CompilerOptions(
+                    max_threadblocks=self.topology.machine.sm_count,
+                    num_slots=1,
+                ),
+            )
+        return self._ir
+
+    def time_us(self, buffer_bytes: float) -> float:
+        """Latency for an output buffer of ``buffer_bytes``."""
+        chunk_bytes = buffer_bytes / self.topology.num_ranks
+        sim = IrSimulator(
+            self._compiled(), self.topology, protocol=SCCL_DIRECT,
+            config=SimConfig(direct_copy=True, max_tiles=1),
+        )
+        return sim.run(chunk_bytes=chunk_bytes).time_us

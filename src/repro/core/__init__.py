@@ -1,0 +1,118 @@
+"""The MSCCLang core: DSL, compiler, MSCCL-IR, and verification.
+
+Typical use::
+
+    from repro.core import (
+        MSCCLProgram, AllReduce, chunk, parallelize, compile_program,
+    )
+
+    coll = AllReduce(num_ranks=8, chunk_factor=8, in_place=True)
+    with MSCCLProgram("ring", coll, protocol="LL") as prog:
+        ...  # chunk(...).copy(...) / .reduce(...)
+    ir = compile_program(prog)
+"""
+
+from .buffers import Buffer, as_buffer
+from .chunk import (
+    InputChunk,
+    ReductionChunk,
+    UNINITIALIZED,
+    Uninitialized,
+    allreduce_result,
+)
+from .collectives import (
+    AllGather,
+    AllReduce,
+    AllToAll,
+    AllToNext,
+    Broadcast,
+    Collective,
+    Custom,
+    Gather,
+    Reduce,
+    ReduceScatter,
+    Scatter,
+)
+from .compiler import CompilerOptions, compile_program
+from .dag import ChunkDAG, ChunkOp
+from .directives import parallelize
+from .errors import (
+    DeadlockError,
+    MscclError,
+    ProgramError,
+    RuntimeConfigError,
+    SchedulingError,
+    SimulationError,
+    StaleReferenceError,
+    UninitializedChunkError,
+    VerificationError,
+)
+from .fusion import fuse
+from .instructions import Instruction, InstructionDAG, Op
+from .ir import GpuProgram, IrInstruction, MscclIr, ThreadBlock
+from .lowering import lower
+from .passes import ir_stats, optimize_ir, prune_redundant_deps, renumber_channels
+from .program import MSCCLProgram, chunk, current_program
+from .refs import ChunkRef
+from .scheduling import schedule
+from .verification import audit_ir, check_postcondition
+from .visualize import chunk_dag_dot, describe_ir, instruction_dag_dot, ir_dot
+
+__all__ = [
+    "AllGather",
+    "AllReduce",
+    "AllToAll",
+    "AllToNext",
+    "Broadcast",
+    "Buffer",
+    "ChunkDAG",
+    "ChunkOp",
+    "ChunkRef",
+    "Collective",
+    "Gather",
+    "CompilerOptions",
+    "Custom",
+    "DeadlockError",
+    "GpuProgram",
+    "InputChunk",
+    "Instruction",
+    "InstructionDAG",
+    "IrInstruction",
+    "MSCCLProgram",
+    "MscclError",
+    "MscclIr",
+    "Op",
+    "ProgramError",
+    "Reduce",
+    "ReduceScatter",
+    "Scatter",
+    "ReductionChunk",
+    "RuntimeConfigError",
+    "SchedulingError",
+    "SimulationError",
+    "StaleReferenceError",
+    "ThreadBlock",
+    "UNINITIALIZED",
+    "Uninitialized",
+    "UninitializedChunkError",
+    "VerificationError",
+    "allreduce_result",
+    "as_buffer",
+    "audit_ir",
+    "check_postcondition",
+    "chunk_dag_dot",
+    "describe_ir",
+    "instruction_dag_dot",
+    "ir_dot",
+    "chunk",
+    "compile_program",
+    "current_program",
+    "fuse",
+    "lower",
+    "ir_stats",
+    "optimize_ir",
+    "prune_redundant_deps",
+    "renumber_channels",
+    "parallelize",
+    "schedule",
+]

@@ -1,0 +1,138 @@
+"""Named buffers and the per-rank buffer state used while tracing.
+
+Each rank exposes three named buffers (paper section 3.1):
+
+* ``input`` — holds the rank's input chunks at program start,
+* ``output`` — uninitialized; must satisfy the postcondition at the end,
+* ``scratch`` — uninitialized temporary storage whose size is deduced
+  from the highest index the program touches.
+
+``BufferState`` tracks, for every index, the abstract chunk value
+currently stored there plus a monotonically increasing *version*. The
+version implements the stale-reference rule: a ``ChunkRef`` snapshots the
+versions of the locations it covers, and any later write bumps them,
+invalidating older references.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from .chunk import UNINITIALIZED, Chunk, is_initialized
+from .errors import ProgramError, UninitializedChunkError
+
+
+class Buffer(enum.Enum):
+    """The three per-rank buffers a program may address."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    SCRATCH = "scratch"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_ALIASES = {
+    "in": Buffer.INPUT,
+    "input": Buffer.INPUT,
+    "i": Buffer.INPUT,
+    "out": Buffer.OUTPUT,
+    "output": Buffer.OUTPUT,
+    "o": Buffer.OUTPUT,
+    "sc": Buffer.SCRATCH,
+    "scratch": Buffer.SCRATCH,
+    "s": Buffer.SCRATCH,
+}
+
+
+def as_buffer(name) -> Buffer:
+    """Normalize a user-facing buffer name ('in', 'out', 'sc', ...)."""
+    if isinstance(name, Buffer):
+        return name
+    if isinstance(name, str):
+        try:
+            return _ALIASES[name.lower()]
+        except KeyError:
+            raise ProgramError(
+                f"unknown buffer {name!r}; expected one of "
+                f"{sorted(set(_ALIASES))}"
+            ) from None
+    raise ProgramError(f"buffer must be a string or Buffer, got {type(name)}")
+
+
+class BufferState:
+    """Abstract contents of one buffer on one rank during tracing.
+
+    The buffer grows on demand for scratch (whose size is deduced), while
+    input/output have a fixed chunk count and reject out-of-range access.
+    """
+
+    def __init__(self, buffer: Buffer, rank: int, size: Optional[int]):
+        self.buffer = buffer
+        self.rank = rank
+        self._fixed_size = size
+        self._chunks: List[Chunk] = (
+            [UNINITIALIZED] * size if size is not None else []
+        )
+        self._versions: List[int] = [0] * len(self._chunks)
+
+    @property
+    def size(self) -> int:
+        """Number of chunk slots currently materialized."""
+        return len(self._chunks)
+
+    def _check_range(self, index: int, count: int) -> None:
+        if index < 0 or count < 1:
+            raise ProgramError(
+                f"invalid access {self.buffer}[{index}:{index + count}] "
+                f"on rank {self.rank}: index must be >= 0 and count >= 1"
+            )
+        end = index + count
+        if self._fixed_size is not None:
+            if end > self._fixed_size:
+                raise ProgramError(
+                    f"access {self.buffer}[{index}:{end}] on rank "
+                    f"{self.rank} is out of range (size {self._fixed_size})"
+                )
+        elif end > len(self._chunks):
+            # Scratch grows to cover the highest index accessed.
+            growth = end - len(self._chunks)
+            self._chunks.extend([UNINITIALIZED] * growth)
+            self._versions.extend([0] * growth)
+
+    def read(self, index: int, count: int) -> List[Chunk]:
+        """Read ``count`` chunk values; error on uninitialized data."""
+        self._check_range(index, count)
+        values = self._chunks[index : index + count]
+        for offset, value in enumerate(values):
+            if not is_initialized(value):
+                raise UninitializedChunkError(
+                    f"rank {self.rank} read uninitialized chunk at "
+                    f"{self.buffer}[{index + offset}]"
+                )
+        return list(values)
+
+    def peek(self, index: int, count: int) -> List[Chunk]:
+        """Read values without the initialization check (for diagnostics)."""
+        self._check_range(index, count)
+        return list(self._chunks[index : index + count])
+
+    def write(self, index: int, values: List[Chunk]) -> None:
+        """Store values and bump versions, invalidating older references."""
+        self._check_range(index, len(values))
+        for offset, value in enumerate(values):
+            self._chunks[index + offset] = value
+            self._versions[index + offset] += 1
+
+    def versions(self, index: int, count: int) -> List[int]:
+        """Current version stamps for a span (used by ChunkRef snapshots)."""
+        self._check_range(index, count)
+        return list(self._versions[index : index + count])
+
+    def snapshot(self) -> Dict[int, Chunk]:
+        """Mapping of index -> chunk for all initialized slots."""
+        return {
+            i: c for i, c in enumerate(self._chunks) if is_initialized(c)
+        }

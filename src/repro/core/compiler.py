@@ -1,0 +1,91 @@
+"""The compiler driver: trace -> lower -> fuse -> schedule -> audit.
+
+:func:`compile_program` is the one entry point users need: it takes a
+traced :class:`~repro.core.program.MSCCLProgram` and produces verified,
+deadlock-free MSCCL-IR ready for the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .buffers import Buffer
+from .fusion import fuse
+from .ir import MscclIr
+from .lowering import lower
+from .program import MSCCLProgram
+from .scheduling import schedule
+from .verification import audit_ir, check_postcondition
+
+
+@dataclass
+class CompilerOptions:
+    """Knobs controlling compilation.
+
+    ``instr_fusion`` toggles the peephole fusion pass (ablation studies
+    turn it off). ``max_threadblocks`` enforces the cooperative-launch
+    SM limit. ``num_slots`` is the FIFO depth assumed by the deadlock
+    audit (the runtime's protocol must provide at least this many).
+    """
+
+    instr_fusion: bool = True
+    verify: bool = True
+    audit: bool = True
+    # Run the post-scheduling IR passes (dep pruning, channel
+    # renumbering); off by default so the raw scheduler output stays
+    # inspectable.
+    optimize: bool = False
+    max_threadblocks: Optional[int] = None
+    num_slots: int = 8
+
+
+def compile_program(program: MSCCLProgram,
+                    options: Optional[CompilerOptions] = None) -> MscclIr:
+    """Compile a traced program into MSCCL-IR."""
+    options = options or CompilerOptions()
+    if options.verify:
+        check_postcondition(program)
+
+    idag = lower(program.dag, instances=program.instances)
+    if options.instr_fusion:
+        fuse(idag)
+
+    collective = program.collective
+
+    def input_chunks(rank: int) -> int:
+        if collective.in_place:
+            return 0  # the input aliases the output buffer
+        return collective.input_chunks(rank)
+
+    ir = schedule(
+        idag,
+        name=program.name,
+        collective_name=collective.name,
+        protocol=program.protocol,
+        num_ranks=program.num_ranks,
+        in_place=collective.in_place,
+        input_chunks=input_chunks,
+        output_chunks=collective.output_chunks,
+        scratch_chunks=program.scratch_chunks,
+        max_threadblocks=options.max_threadblocks,
+    )
+    if options.optimize:
+        from .passes import optimize_ir
+
+        optimize_ir(ir)
+    if options.audit:
+        audit_ir(ir, num_slots=options.num_slots)
+    return ir
+
+
+def scratch_buffer_chunks(ir: MscclIr, rank: int) -> int:
+    """Deduced scratch size for a rank (highest scratch index + 1)."""
+    gpu = ir.gpus[rank]
+    highest = gpu.scratch_chunks
+    for tb in gpu.threadblocks:
+        for instr in tb.instructions:
+            for span in (instr.src, instr.dst):
+                if span is not None and span[0] is Buffer.SCRATCH:
+                    highest = max(highest, span[1] + span[2])
+    return highest

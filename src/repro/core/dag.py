@@ -1,0 +1,156 @@
+"""The Chunk DAG: the compiler's trace of a program's chunk movement.
+
+Tracing executes the Python program once, recording every ``copy`` and
+``reduce`` as a node (paper section 4.1). Edges are dependencies between
+operations:
+
+* **true dependencies** — an operation reads a location another op wrote,
+* **false dependencies** — an operation overwrites a location another op
+  wrote or read (WAW / WAR from reusing buffer indices).
+
+Source nodes stand for the input chunks present at program start so the
+graph is rooted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .buffers import Buffer
+
+# A located span of chunks: (rank, buffer, start index, count).
+Span = Tuple[int, Buffer, int, int]
+
+
+def span_locations(span: Span):
+    """Iterate the (rank, buffer, index) locations a span covers."""
+    rank, buffer, index, count = span
+    for offset in range(count):
+        yield (rank, buffer, index + offset)
+
+
+@dataclass
+class ParallelGroup:
+    """A ``parallelize(n)`` region; ops inside are replicated n ways."""
+
+    group_id: int
+    instances: int
+
+
+@dataclass
+class ChunkOp:
+    """One node of the Chunk DAG.
+
+    ``kind`` is ``'start'`` (input chunk source), ``'copy'``, or
+    ``'reduce'``. For copy, ``src`` is read and ``dst`` written. For
+    reduce, both ``src`` and ``dst`` are read and ``dst`` is written
+    (the in-place accumulator).
+    """
+
+    op_id: int
+    kind: str
+    src: Optional[Span]
+    dst: Optional[Span]
+    channel: Optional[int] = None
+    parallel: Optional[ParallelGroup] = None
+    trace_index: int = 0
+    deps: Set[int] = field(default_factory=set)
+    true_deps: Set[int] = field(default_factory=set)
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination live on the same rank."""
+        if self.src is None or self.dst is None:
+            return True
+        return self.src[0] == self.dst[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkOp#{self.op_id}({self.kind}, src={self.src}, "
+            f"dst={self.dst}, ch={self.channel})"
+        )
+
+
+class ChunkDAG:
+    """Accumulates ChunkOps and dependency edges during tracing."""
+
+    def __init__(self) -> None:
+        self.ops: List[ChunkOp] = []
+        # Per location bookkeeping for dependence computation.
+        self._last_writer: Dict[Tuple[int, Buffer, int], int] = {}
+        self._readers_since_write: Dict[Tuple[int, Buffer, int], Set[int]] = {}
+
+    def _new_op(self, kind: str, src: Optional[Span], dst: Optional[Span],
+                channel: Optional[int],
+                parallel: Optional[ParallelGroup]) -> ChunkOp:
+        op = ChunkOp(
+            op_id=len(self.ops),
+            kind=kind,
+            src=src,
+            dst=dst,
+            channel=channel,
+            parallel=parallel,
+            trace_index=len(self.ops),
+        )
+        self.ops.append(op)
+        return op
+
+    def _record_read(self, op: ChunkOp, span: Span) -> None:
+        for loc in span_locations(span):
+            writer = self._last_writer.get(loc)
+            if writer is not None and writer != op.op_id:
+                op.deps.add(writer)
+                op.true_deps.add(writer)
+            self._readers_since_write.setdefault(loc, set()).add(op.op_id)
+
+    def _record_write(self, op: ChunkOp, span: Span) -> None:
+        for loc in span_locations(span):
+            writer = self._last_writer.get(loc)
+            if writer is not None and writer != op.op_id:
+                op.deps.add(writer)  # WAW false dependency
+            for reader in self._readers_since_write.get(loc, ()):
+                if reader != op.op_id:
+                    op.deps.add(reader)  # WAR false dependency
+            self._last_writer[loc] = op.op_id
+            self._readers_since_write[loc] = set()
+
+    def add_start(self, span: Span) -> ChunkOp:
+        """Record a source node for input chunks present at start."""
+        op = self._new_op("start", None, span, None, None)
+        self._record_write(op, span)
+        # Start nodes are not real writes for WAR purposes; reset readers.
+        return op
+
+    def add_copy(self, src: Span, dst: Span, channel: Optional[int],
+                 parallel: Optional[ParallelGroup]) -> ChunkOp:
+        """Record a copy op reading ``src`` and writing ``dst``."""
+        op = self._new_op("copy", src, dst, channel, parallel)
+        self._record_read(op, src)
+        self._record_write(op, dst)
+        return op
+
+    def add_reduce(self, src: Span, dst: Span, channel: Optional[int],
+                   parallel: Optional[ParallelGroup]) -> ChunkOp:
+        """Record a reduce op accumulating ``src`` into ``dst``."""
+        op = self._new_op("reduce", src, dst, channel, parallel)
+        self._record_read(op, src)
+        self._record_read(op, dst)
+        self._record_write(op, dst)
+        return op
+
+    # -- queries ---------------------------------------------------------
+    def operations(self) -> List[ChunkOp]:
+        """All copy/reduce nodes in trace order (start nodes excluded)."""
+        return [op for op in self.ops if op.kind != "start"]
+
+    def dependents(self) -> Dict[int, Set[int]]:
+        """Reverse adjacency: op_id -> set of ops depending on it."""
+        result: Dict[int, Set[int]] = {op.op_id: set() for op in self.ops}
+        for op in self.ops:
+            for dep in op.deps:
+                result[dep].add(op.op_id)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.ops)

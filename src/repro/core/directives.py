@@ -1,0 +1,33 @@
+"""Scheduling directives exposed to MSCCLang programs (paper section 5.1).
+
+Two directives exist:
+
+* ``ch=`` keyword on ``copy``/``reduce`` — pins an operation's transfer
+  to a channel (handled by :mod:`repro.core.refs`).
+* ``with parallelize(n):`` — chunk parallelization: every operation
+  traced inside the block is replicated ``n`` times by the compiler,
+  each instance carrying ``1/n`` of the data on disjoint channels.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .program import current_program
+
+
+@contextmanager
+def parallelize(instances: int):
+    """Replicate the operations traced inside this block ``instances``-way.
+
+    Example (paper section 5.1)::
+
+        with parallelize(N):
+            ReduceScatter(local_ranks, 0, N)
+    """
+    program = current_program()
+    group = program.push_parallel(instances)
+    try:
+        yield group
+    finally:
+        program.pop_parallel(group)

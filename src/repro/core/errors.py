@@ -1,0 +1,54 @@
+"""Exception hierarchy for the MSCCLang reproduction.
+
+Every error the DSL, compiler, or runtime raises derives from
+:class:`MscclError` so callers can catch the whole family with one
+``except`` clause while tests can assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class MscclError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ProgramError(MscclError):
+    """A structurally invalid use of the DSL (bad rank, buffer, index...)."""
+
+
+class StaleReferenceError(ProgramError):
+    """An operation used a chunk reference that is no longer the latest.
+
+    MSCCLang only allows the most recent reference to any (rank, buffer,
+    index) location to be used, which makes programs data-race free by
+    construction (paper section 3.3).
+    """
+
+
+class UninitializedChunkError(ProgramError):
+    """The program read a buffer location holding uninitialized data."""
+
+
+class VerificationError(MscclError):
+    """The traced program does not satisfy the collective's postcondition."""
+
+
+class SchedulingError(MscclError):
+    """The compiler could not produce a valid schedule.
+
+    Raised, for example, when a schedule would need more thread blocks
+    than the GPU has streaming multiprocessors, or when a thread block
+    would need more than one send or receive peer.
+    """
+
+
+class DeadlockError(MscclError):
+    """An IR-level audit detected a potential deadlock cycle."""
+
+
+class RuntimeConfigError(MscclError):
+    """Invalid runtime configuration (unknown protocol, bad size range...)."""
+
+
+class SimulationError(MscclError):
+    """The discrete-event simulator reached an inconsistent state."""

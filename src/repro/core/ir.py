@@ -1,0 +1,345 @@
+"""MSCCL-IR: the executable form the runtime interprets (paper Fig. 4).
+
+The IR is a tree: a program contains one ``GpuProgram`` per rank, each a
+list of ``ThreadBlock``s. A thread block has at most one send peer and
+one receive peer, a channel identifying its connections, and a sequence
+of ``IrInstruction``s executed in order. Cross-thread-block ordering is
+expressed with ``depends`` entries naming (thread block, step) pairs
+that must complete first.
+
+The IR serializes to JSON (lossless) and to an msccl-tools-style XML
+for eyeballing against the reference implementation's format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+from xml.etree import ElementTree
+
+from .buffers import Buffer
+from .instructions import Op
+
+LocalSpan = Tuple[Buffer, int, int]
+
+
+@dataclass
+class IrInstruction:
+    """One interpreter step (paper Figure 5's Instruction struct).
+
+    ``recv_seq`` tags receiving instructions with the index of the
+    message they consume on their connection (per kernel iteration):
+    the runtime's FIFO slots are indexed, so a receive matches its
+    specific slot rather than whatever arrives first.
+    """
+
+    step: int
+    op: Op
+    src: Optional[LocalSpan] = None
+    dst: Optional[LocalSpan] = None
+    count: int = 1
+    frac_lo: Fraction = Fraction(0)
+    frac_hi: Fraction = Fraction(1)
+    depends: List[Tuple[int, int]] = field(default_factory=list)
+    has_dep: bool = False  # some other thread block waits on this step
+    recv_seq: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        def span(s):
+            return None if s is None else [s[0].value, s[1], s[2]]
+
+        return {
+            "step": self.step,
+            "op": self.op.value,
+            "src": span(self.src),
+            "dst": span(self.dst),
+            "count": self.count,
+            "frac": [
+                [self.frac_lo.numerator, self.frac_lo.denominator],
+                [self.frac_hi.numerator, self.frac_hi.denominator],
+            ],
+            "depends": list(self.depends),
+            "has_dep": self.has_dep,
+            "recv_seq": self.recv_seq,
+        }
+
+
+@dataclass
+class ThreadBlock:
+    """A sequentially-executed instruction list with two connections."""
+
+    tb_id: int
+    send_peer: Optional[int] = None
+    recv_peer: Optional[int] = None
+    channel: int = 0
+    instructions: List[IrInstruction] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.tb_id,
+            "send_peer": self.send_peer,
+            "recv_peer": self.recv_peer,
+            "channel": self.channel,
+            "instructions": [i.to_dict() for i in self.instructions],
+        }
+
+
+@dataclass
+class GpuProgram:
+    """All thread blocks of one rank plus its buffer sizes (in chunks)."""
+
+    rank: int
+    input_chunks: int
+    output_chunks: int
+    scratch_chunks: int
+    threadblocks: List[ThreadBlock] = field(default_factory=list)
+
+    def buffer_chunks(self, buffer: Buffer) -> int:
+        if buffer is Buffer.INPUT:
+            return self.input_chunks
+        if buffer is Buffer.OUTPUT:
+            return self.output_chunks
+        return self.scratch_chunks
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "input_chunks": self.input_chunks,
+            "output_chunks": self.output_chunks,
+            "scratch_chunks": self.scratch_chunks,
+            "threadblocks": [tb.to_dict() for tb in self.threadblocks],
+        }
+
+
+@dataclass
+class MscclIr:
+    """The complete executable program."""
+
+    name: str
+    collective: str
+    protocol: str
+    num_ranks: int
+    in_place: bool
+    gpus: List[GpuProgram] = field(default_factory=list)
+
+    # -- queries -----------------------------------------------------------
+    def threadblock_count(self) -> int:
+        return sum(len(g.threadblocks) for g in self.gpus)
+
+    def instruction_count(self) -> int:
+        return sum(
+            len(tb.instructions)
+            for g in self.gpus
+            for tb in g.threadblocks
+        )
+
+    def max_threadblocks_per_gpu(self) -> int:
+        return max((len(g.threadblocks) for g in self.gpus), default=0)
+
+    def channels_used(self) -> int:
+        channels = {
+            tb.channel for g in self.gpus for tb in g.threadblocks
+        }
+        return len(channels)
+
+    def connections(self) -> List[Tuple[int, int, int]]:
+        """All (src_rank, dst_rank, channel) connections in the program."""
+        conns = set()
+        for gpu in self.gpus:
+            for tb in gpu.threadblocks:
+                if tb.send_peer is not None:
+                    conns.add((gpu.rank, tb.send_peer, tb.channel))
+        return sorted(conns)
+
+    def op_histogram(self) -> Dict[str, int]:
+        """Opcode -> occurrence count, for tests and diagnostics."""
+        histogram: Dict[str, int] = {}
+        for gpu in self.gpus:
+            for tb in gpu.threadblocks:
+                for instr in tb.instructions:
+                    histogram[instr.op.value] = (
+                        histogram.get(instr.op.value, 0) + 1
+                    )
+        return histogram
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "collective": self.collective,
+            "protocol": self.protocol,
+            "num_ranks": self.num_ranks,
+            "in_place": self.in_place,
+            "gpus": [g.to_dict() for g in self.gpus],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "MscclIr":
+        data = json.loads(text)
+        ir = MscclIr(
+            name=data["name"],
+            collective=data["collective"],
+            protocol=data["protocol"],
+            num_ranks=data["num_ranks"],
+            in_place=data["in_place"],
+        )
+        for gd in data["gpus"]:
+            gpu = GpuProgram(
+                rank=gd["rank"],
+                input_chunks=gd["input_chunks"],
+                output_chunks=gd["output_chunks"],
+                scratch_chunks=gd["scratch_chunks"],
+            )
+            for td in gd["threadblocks"]:
+                tb = ThreadBlock(
+                    tb_id=td["id"],
+                    send_peer=td["send_peer"],
+                    recv_peer=td["recv_peer"],
+                    channel=td["channel"],
+                )
+                for idx in td["instructions"]:
+                    def span(s):
+                        if s is None:
+                            return None
+                        return (Buffer(s[0]), s[1], s[2])
+
+                    (lo_n, lo_d), (hi_n, hi_d) = idx["frac"]
+                    tb.instructions.append(IrInstruction(
+                        step=idx["step"],
+                        op=Op(idx["op"]),
+                        src=span(idx["src"]),
+                        dst=span(idx["dst"]),
+                        count=idx["count"],
+                        frac_lo=Fraction(lo_n, lo_d),
+                        frac_hi=Fraction(hi_n, hi_d),
+                        depends=[tuple(d) for d in idx["depends"]],
+                        has_dep=idx["has_dep"],
+                        recv_seq=idx.get("recv_seq"),
+                    ))
+                gpu.threadblocks.append(tb)
+            ir.gpus.append(gpu)
+        return ir
+
+    @staticmethod
+    def from_xml(text: str) -> "MscclIr":
+        """Parse the msccl-tools-style XML emitted by :meth:`to_xml`."""
+        root = ElementTree.fromstring(text)
+        ir = MscclIr(
+            name=root.get("name", "unnamed"),
+            collective=root.get("coll", "custom"),
+            protocol=root.get("proto", "Simple"),
+            num_ranks=int(root.get("ngpus")),
+            in_place=root.get("inplace", "0") == "1",
+        )
+        for gpu_el in root.findall("gpu"):
+            gpu = GpuProgram(
+                rank=int(gpu_el.get("id")),
+                input_chunks=int(gpu_el.get("i_chunks", "0")),
+                output_chunks=int(gpu_el.get("o_chunks", "0")),
+                scratch_chunks=int(gpu_el.get("s_chunks", "0")),
+            )
+            for tb_el in gpu_el.findall("tb"):
+                send = int(tb_el.get("send", "-1"))
+                recv = int(tb_el.get("recv", "-1"))
+                tb = ThreadBlock(
+                    tb_id=int(tb_el.get("id")),
+                    send_peer=None if send < 0 else send,
+                    recv_peer=None if recv < 0 else recv,
+                    channel=int(tb_el.get("chan", "0")),
+                )
+                for step_el in tb_el.findall("step"):
+                    src = None
+                    if step_el.get("srcbuf") is not None:
+                        src = (Buffer(step_el.get("srcbuf")),
+                               int(step_el.get("srcoff")),
+                               int(step_el.get("cnt", "1")))
+                    dst = None
+                    if step_el.get("dstbuf") is not None:
+                        dst = (Buffer(step_el.get("dstbuf")),
+                               int(step_el.get("dstoff")),
+                               int(step_el.get("cnt", "1")))
+                    depends = []
+                    if step_el.get("depid"):
+                        dep_ids = step_el.get("depid").split(",")
+                        dep_steps = step_el.get("deps").split(",")
+                        depends = [
+                            (int(tb_id), int(dep_step))
+                            for tb_id, dep_step in zip(dep_ids, dep_steps)
+                        ]
+                    seq = step_el.get("seq")
+                    tb.instructions.append(IrInstruction(
+                        step=int(step_el.get("step")),
+                        op=Op(step_el.get("type")),
+                        src=src,
+                        dst=dst,
+                        count=int(step_el.get("cnt", "1")),
+                        frac_lo=Fraction(step_el.get("flo", "0")),
+                        frac_hi=Fraction(step_el.get("fhi", "1")),
+                        depends=depends,
+                        has_dep=step_el.get("hasdep") == "1",
+                        recv_seq=None if seq is None else int(seq),
+                    ))
+                gpu.threadblocks.append(tb)
+            ir.gpus.append(gpu)
+        ir.gpus.sort(key=lambda g: g.rank)
+        return ir
+
+    def to_xml(self) -> str:
+        """msccl-tools-style XML rendering (for human inspection)."""
+        root = ElementTree.Element("algo", {
+            "name": self.name,
+            "proto": self.protocol,
+            "nchannels": str(self.channels_used()),
+            "ngpus": str(self.num_ranks),
+            "coll": self.collective,
+            "inplace": "1" if self.in_place else "0",
+        })
+        for gpu in self.gpus:
+            gpu_el = ElementTree.SubElement(root, "gpu", {
+                "id": str(gpu.rank),
+                "i_chunks": str(gpu.input_chunks),
+                "o_chunks": str(gpu.output_chunks),
+                "s_chunks": str(gpu.scratch_chunks),
+            })
+            for tb in gpu.threadblocks:
+                tb_el = ElementTree.SubElement(gpu_el, "tb", {
+                    "id": str(tb.tb_id),
+                    "send": str(-1 if tb.send_peer is None else tb.send_peer),
+                    "recv": str(-1 if tb.recv_peer is None else tb.recv_peer),
+                    "chan": str(tb.channel),
+                })
+                for instr in tb.instructions:
+                    attrs = {
+                        "step": str(instr.step),
+                        "type": instr.op.value,
+                        "cnt": str(instr.count),
+                    }
+                    if instr.src is not None:
+                        attrs["srcbuf"] = instr.src[0].value
+                        attrs["srcoff"] = str(instr.src[1])
+                    if instr.dst is not None:
+                        attrs["dstbuf"] = instr.dst[0].value
+                        attrs["dstoff"] = str(instr.dst[1])
+                    if (instr.frac_lo, instr.frac_hi) != (
+                            Fraction(0), Fraction(1)):
+                        attrs["flo"] = str(instr.frac_lo)
+                        attrs["fhi"] = str(instr.frac_hi)
+                    if instr.depends:
+                        attrs["depid"] = ",".join(
+                            str(tb_id) for tb_id, _ in instr.depends
+                        )
+                        attrs["deps"] = ",".join(
+                            str(step) for _, step in instr.depends
+                        )
+                    if instr.has_dep:
+                        attrs["hasdep"] = "1"
+                    if instr.recv_seq is not None:
+                        attrs["seq"] = str(instr.recv_seq)
+                    ElementTree.SubElement(tb_el, "step", attrs)
+        ElementTree.indent(root)
+        return ElementTree.tostring(root, encoding="unicode")

@@ -1,0 +1,188 @@
+"""Lowering: expand the Chunk DAG into the Instruction DAG.
+
+Each chunk operation becomes one local instruction or a send/recv pair
+(paper section 4.2). Parallelized operations (``parallelize`` regions
+and whole-program ``instances``) are replicated here: instance *k* of
+*S* owns the element fraction ``[k/S, (k+1)/S)`` of every chunk it
+touches, so instances partition the data exactly.
+
+Dependencies are recomputed at instruction granularity with per-location
+*fractional* interval tracking, which yields exact true/false edges even
+when differently-parallelized phases interact (e.g. a 2-way parallelized
+intra-node phase feeding an unparallelized inter-node phase).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from .dag import ChunkDAG, ChunkOp
+from .instructions import Instruction, InstructionDAG, Op
+
+Interval = Tuple[Fraction, Fraction]
+Location = Tuple[int, object, int]  # (rank, buffer, index)
+
+
+def _subtract(intervals: List[Interval], lo: Fraction,
+              hi: Fraction) -> List[Interval]:
+    """Remove [lo, hi) from a sorted, disjoint interval list."""
+    result: List[Interval] = []
+    for (ilo, ihi) in intervals:
+        if ihi <= lo or hi <= ilo:
+            result.append((ilo, ihi))
+            continue
+        if ilo < lo:
+            result.append((ilo, lo))
+        if hi < ihi:
+            result.append((hi, ihi))
+    return result
+
+
+def _overlaps(intervals: List[Interval], lo: Fraction,
+              hi: Fraction) -> bool:
+    """True when [lo, hi) intersects any interval in the list."""
+    return any(ilo < hi and lo < ihi for (ilo, ihi) in intervals)
+
+
+class _AccessEntry:
+    """A reader's or writer's remaining (not yet overwritten) intervals."""
+
+    __slots__ = ("instr_id", "intervals")
+
+    def __init__(self, instr_id: int, lo: Fraction, hi: Fraction):
+        self.instr_id = instr_id
+        self.intervals: List[Interval] = [(lo, hi)]
+
+
+class _LocationTracker:
+    """Fractional last-writer / readers-since-write bookkeeping."""
+
+    def __init__(self) -> None:
+        self._writers: Dict[Location, List[_AccessEntry]] = {}
+        self._readers: Dict[Location, List[_AccessEntry]] = {}
+        # instr_id -> number of write cells not yet fully overwritten.
+        self.pending_cells: Dict[int, int] = {}
+
+    def record_read(self, instr: Instruction, loc: Location,
+                    lo: Fraction, hi: Fraction) -> None:
+        for entry in self._writers.get(loc, ()):
+            if entry.instr_id != instr.instr_id and _overlaps(
+                    entry.intervals, lo, hi):
+                instr.deps.add(entry.instr_id)
+                instr.true_deps.add(entry.instr_id)
+        self._readers.setdefault(loc, []).append(
+            _AccessEntry(instr.instr_id, lo, hi)
+        )
+
+    def record_write(self, instr: Instruction, loc: Location,
+                     lo: Fraction, hi: Fraction) -> None:
+        writers = self._writers.setdefault(loc, [])
+        surviving_writers: List[_AccessEntry] = []
+        for entry in writers:
+            if entry.instr_id != instr.instr_id and _overlaps(
+                    entry.intervals, lo, hi):
+                instr.deps.add(entry.instr_id)  # WAW
+            entry.intervals = _subtract(entry.intervals, lo, hi)
+            if entry.intervals:
+                surviving_writers.append(entry)
+            else:
+                self.pending_cells[entry.instr_id] -= 1
+        readers = self._readers.get(loc, [])
+        surviving_readers: List[_AccessEntry] = []
+        for entry in readers:
+            if entry.instr_id != instr.instr_id and _overlaps(
+                    entry.intervals, lo, hi):
+                instr.deps.add(entry.instr_id)  # WAR
+            entry.intervals = _subtract(entry.intervals, lo, hi)
+            if entry.intervals:
+                surviving_readers.append(entry)
+        surviving_writers.append(_AccessEntry(instr.instr_id, lo, hi))
+        self._writers[loc] = surviving_writers
+        self._readers[loc] = surviving_readers
+        self.pending_cells[instr.instr_id] = (
+            self.pending_cells.get(instr.instr_id, 0) + 1
+        )
+
+
+def _span_locations(rank: int, span) -> List[Location]:
+    buffer, index, count = span
+    return [(rank, buffer, index + k) for k in range(count)]
+
+
+def _record_instruction(tracker: _LocationTracker,
+                        instr: Instruction) -> None:
+    """Register an instruction's reads then writes with the tracker."""
+    for span in instr.read_spans():
+        for loc in _span_locations(instr.rank, span):
+            tracker.record_read(instr, loc, instr.frac_lo, instr.frac_hi)
+    for span in instr.write_spans():
+        for loc in _span_locations(instr.rank, span):
+            tracker.record_write(instr, loc, instr.frac_lo, instr.frac_hi)
+
+
+def lower(dag: ChunkDAG, instances: int = 1) -> InstructionDAG:
+    """Expand a Chunk DAG into an Instruction DAG.
+
+    ``instances`` is the whole-program parallelization factor (the
+    paper's ``r``); ``parallelize`` regions multiply on top of it.
+    """
+    idag = InstructionDAG()
+    tracker = _LocationTracker()
+
+    for op in dag.operations():
+        group_n = op.parallel.instances if op.parallel is not None else 1
+        total = instances * group_n
+        for prog_i in range(instances):
+            for group_i in range(group_n):
+                k = prog_i * group_n + group_i
+                lo = Fraction(k, total)
+                hi = Fraction(k + 1, total)
+                _expand_op(idag, tracker, op, k, total, lo, hi)
+
+    # Finalize the "dst fully overwritten later" flags used by the rrs
+    # fusion rule.
+    for instr in idag.live():
+        pending = tracker.pending_cells.get(instr.instr_id)
+        if pending is not None:
+            instr.overwritten = pending == 0 and bool(instr.write_spans())
+    return idag
+
+
+def _expand_op(idag: InstructionDAG, tracker: _LocationTracker,
+               op: ChunkOp, k: int, total: int,
+               lo: Fraction, hi: Fraction) -> None:
+    """Emit the instruction(s) for one instance of one chunk op."""
+    src_rank, src_buffer, src_index, count = op.src
+    dst_rank, dst_buffer, dst_index, _ = op.dst
+    src_span = (src_buffer, src_index, count)
+    dst_span = (dst_buffer, dst_index, count)
+    common = dict(
+        channel_directive=op.channel,
+        frac_lo=lo,
+        frac_hi=hi,
+        instance=(k, total),
+        chunk_op_id=op.op_id,
+        trace_key=(op.trace_index, k),
+    )
+
+    if op.is_local:
+        local_op = Op.COPY if op.kind == "copy" else Op.REDUCE
+        instr = idag.new(rank=src_rank, op=local_op, src=src_span,
+                         dst=dst_span, **common)
+        _record_instruction(tracker, instr)
+        return
+
+    send = idag.new(rank=src_rank, op=Op.SEND, src=src_span,
+                    send_peer=dst_rank, **common)
+    _record_instruction(tracker, send)
+    if op.kind == "copy":
+        recv = idag.new(rank=dst_rank, op=Op.RECV, dst=dst_span,
+                        recv_peer=src_rank, **common)
+    else:  # remote reduce: receive and accumulate into the destination
+        recv = idag.new(rank=dst_rank, op=Op.RECV_REDUCE_COPY,
+                        src=dst_span, dst=dst_span,
+                        recv_peer=src_rank, **common)
+    _record_instruction(tracker, recv)
+    send.send_match = recv.instr_id
+    recv.recv_match = send.instr_id

@@ -1,0 +1,168 @@
+"""Correctness checks: postconditions and deadlock-freedom audits.
+
+Two independent layers:
+
+* :func:`check_postcondition` validates the *traced* program against its
+  collective's postcondition — the paper's "automatically check whether
+  an implementation properly implements a collective before running on
+  hardware" (section 3.2).
+
+* :func:`audit_ir` validates a *scheduled* IR: communication edges must
+  pair up send-for-send across connections, and the dependence graph —
+  thread-block program order, cross-thread-block deps, communication
+  edges, and FIFO back-pressure edges for ``num_slots`` buffer slots —
+  must be acyclic. Acyclicity is exactly deadlock-freedom for the
+  runtime's blocking semantics (section 5.2 / 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .chunk import ReductionChunk
+from .errors import DeadlockError, VerificationError
+from .instructions import Op
+from .ir import MscclIr
+
+
+def check_postcondition(program) -> None:
+    """Raise VerificationError unless the trace satisfies the collective."""
+    collective = program.collective
+    failures: List[str] = []
+    for rank in range(collective.num_ranks):
+        expected = collective.postcondition(rank)
+        actual = program.output_state(rank)
+        for index, want in sorted(expected.items()):
+            got = actual.get(index)
+            if got is None:
+                failures.append(
+                    f"rank {rank} output[{index}]: expected {want!r}, "
+                    "but the location is uninitialized"
+                )
+            elif not _chunks_equal(got, want):
+                failures.append(
+                    f"rank {rank} output[{index}]: expected {want!r}, "
+                    f"got {got!r}"
+                )
+    if failures:
+        preview = "\n  ".join(failures[:10])
+        more = f"\n  ... and {len(failures) - 10} more" \
+            if len(failures) > 10 else ""
+        raise VerificationError(
+            f"program '{program.name}' does not implement "
+            f"{collective.name}:\n  {preview}{more}"
+        )
+
+
+def _chunks_equal(got, want) -> bool:
+    if isinstance(want, ReductionChunk) != isinstance(got, ReductionChunk):
+        return False
+    return got == want
+
+
+def audit_ir(ir: MscclIr, num_slots: int = 8) -> None:
+    """Raise on malformed connections or a potential deadlock cycle."""
+    if num_slots < 1:
+        raise ValueError("num_slots must be >= 1")
+    sends, recvs = _collect_connection_traffic(ir)
+
+    recvs_by_seq = {}
+    for conn in set(sends) | set(recvs):
+        n_send = len(sends.get(conn, ()))
+        tagged = recvs.get(conn, ())
+        if n_send != len(tagged):
+            src, dst, ch = conn
+            raise DeadlockError(
+                f"connection {src}->{dst} ch{ch} has {n_send} sends but "
+                f"{len(tagged)} receives"
+            )
+        by_seq = {}
+        for node, seq in tagged:
+            if seq is None or not 0 <= seq < n_send or seq in by_seq:
+                src, dst, ch = conn
+                raise DeadlockError(
+                    f"connection {src}->{dst} ch{ch} has an invalid or "
+                    f"duplicate receive sequence tag {seq}"
+                )
+            by_seq[seq] = node
+        recvs_by_seq[conn] = [by_seq[k] for k in range(n_send)]
+
+    # Build the full dependence graph over (rank, tb, step) nodes.
+    Node = Tuple[int, int, int]
+    adjacency: Dict[Node, List[Node]] = {}
+    indegree: Dict[Node, int] = {}
+
+    def add_edge(a: Node, b: Node) -> None:
+        adjacency.setdefault(a, []).append(b)
+        indegree[b] = indegree.get(b, 0) + 1
+        indegree.setdefault(a, 0)
+
+    for gpu in ir.gpus:
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                node = (gpu.rank, tb.tb_id, instr.step)
+                indegree.setdefault(node, 0)
+                if instr.step > 0:
+                    add_edge((gpu.rank, tb.tb_id, instr.step - 1), node)
+                for dep_tb, dep_step in instr.depends:
+                    add_edge((gpu.rank, dep_tb, dep_step), node)
+
+    for conn, send_nodes in sends.items():
+        recv_nodes = recvs_by_seq[conn]
+        for k, (send_node, recv_node) in enumerate(
+                zip(send_nodes, recv_nodes)):
+            add_edge(send_node, recv_node)
+            if k + num_slots < len(send_nodes):
+                # FIFO back-pressure: send k+s needs slot k freed.
+                add_edge(recv_node, send_nodes[k + num_slots])
+
+    # Kahn's algorithm; leftovers mean a cycle (potential deadlock).
+    ready = [node for node, deg in indegree.items() if deg == 0]
+    visited = 0
+    while ready:
+        node = ready.pop()
+        visited += 1
+        for succ in adjacency.get(node, ()):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if visited != len(indegree):
+        stuck = [n for n, deg in indegree.items() if deg > 0]
+        raise DeadlockError(
+            f"IR '{ir.name}' has a dependence cycle with {num_slots} "
+            f"FIFO slots; {len(stuck)} instructions are involved, e.g. "
+            f"{sorted(stuck)[:5]}"
+        )
+
+
+def _collect_connection_traffic(ir: MscclIr):
+    """Per-connection ordered send and recv (rank, tb, step) node lists."""
+    sends: Dict[Tuple[int, int, int], List[Tuple[int, int, int]]] = {}
+    recvs: Dict[Tuple[int, int, int], List[Tuple[int, int, int]]] = {}
+    for gpu in ir.gpus:
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                node = (gpu.rank, tb.tb_id, instr.step)
+                if instr.op in (Op.SEND, Op.RECV_COPY_SEND,
+                                Op.RECV_REDUCE_COPY_SEND,
+                                Op.RECV_REDUCE_SEND):
+                    if tb.send_peer is None:
+                        raise DeadlockError(
+                            f"rank {gpu.rank} tb {tb.tb_id} sends but has "
+                            "no send peer"
+                        )
+                    conn = (gpu.rank, tb.send_peer, tb.channel)
+                    sends.setdefault(conn, []).append(node)
+                if instr.op in (Op.RECV, Op.RECV_REDUCE_COPY,
+                                Op.RECV_COPY_SEND, Op.RECV_REDUCE_COPY_SEND,
+                                Op.RECV_REDUCE_SEND):
+                    if tb.recv_peer is None:
+                        raise DeadlockError(
+                            f"rank {gpu.rank} tb {tb.tb_id} receives but "
+                            "has no recv peer"
+                        )
+                    conn = (tb.recv_peer, gpu.rank, tb.channel)
+                    recvs.setdefault(conn, []).append(
+                        (node, instr.recv_seq)
+                    )
+    return sends, recvs

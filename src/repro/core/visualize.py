@@ -1,0 +1,140 @@
+"""Graphviz (DOT) exports of the compiler's intermediate structures.
+
+Three views, mirroring the paper's Figure 4:
+
+* :func:`chunk_dag_dot` — the traced Chunk DAG (operations + true/false
+  dependencies),
+* :func:`instruction_dag_dot` — the lowered/fused Instruction DAG with
+  communication edges,
+* :func:`ir_dot` — the scheduled MSCCL-IR: thread blocks as clusters,
+  program order, cross-thread-block deps, and connections.
+
+The output is plain DOT text; render with ``dot -Tsvg`` if graphviz is
+installed, or just read it — the structure is legible as text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .dag import ChunkDAG
+from .instructions import InstructionDAG
+from .ir import MscclIr
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', r"\"")
+
+
+def chunk_dag_dot(dag: ChunkDAG, title: str = "chunk_dag") -> str:
+    """DOT rendering of a Chunk DAG."""
+    lines = [f'digraph "{_escape(title)}" {{', "  rankdir=TB;",
+             "  node [shape=box, fontsize=10];"]
+    for op in dag.ops:
+        if op.kind == "start":
+            rank, buffer, index, count = op.dst
+            label = f"start r{rank} {buffer.value}[{index}+{count}]"
+            lines.append(
+                f'  op{op.op_id} [label="{_escape(label)}", '
+                'shape=ellipse, style=dotted];'
+            )
+            continue
+        src = f"r{op.src[0]} {op.src[1].value}[{op.src[2]}+{op.src[3]}]"
+        dst = f"r{op.dst[0]} {op.dst[1].value}[{op.dst[2]}+{op.dst[3]}]"
+        channel = f" ch{op.channel}" if op.channel is not None else ""
+        label = f"#{op.op_id} {op.kind}{channel}\\n{src} -> {dst}"
+        lines.append(f'  op{op.op_id} [label="{_escape(label)}"];')
+    for op in dag.ops:
+        for dep in sorted(op.deps):
+            style = "" if dep in op.true_deps else " [style=dashed]"
+            lines.append(f"  op{dep} -> op{op.op_id}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def instruction_dag_dot(idag: InstructionDAG,
+                        title: str = "instruction_dag") -> str:
+    """DOT rendering of the Instruction DAG (comm edges in color)."""
+    lines = [f'digraph "{_escape(title)}" {{', "  rankdir=TB;",
+             "  node [shape=box, fontsize=10];"]
+    live = idag.live()
+    for instr in live:
+        parts = [f"#{instr.instr_id} {instr.op.value} r{instr.rank}"]
+        if instr.src is not None:
+            buf, idx, cnt = instr.src
+            parts.append(f"src {buf.value}[{idx}+{cnt}]")
+        if instr.dst is not None:
+            buf, idx, cnt = instr.dst
+            parts.append(f"dst {buf.value}[{idx}+{cnt}]")
+        label = "\\n".join(parts)
+        lines.append(f'  i{instr.instr_id} [label="{_escape(label)}"];')
+    ids = {i.instr_id for i in live}
+    for instr in live:
+        for dep in sorted(instr.deps):
+            if dep in ids:
+                style = "" if dep in instr.true_deps else " [style=dashed]"
+                lines.append(f"  i{dep} -> i{instr.instr_id}{style};")
+        if instr.send_match is not None and instr.send_match in ids:
+            lines.append(
+                f"  i{instr.instr_id} -> i{instr.send_match} "
+                "[color=blue, penwidth=2];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ir_dot(ir: MscclIr, title: str = None) -> str:
+    """DOT rendering of the scheduled IR: one cluster per thread block."""
+    title = title or ir.name
+    lines = [f'digraph "{_escape(title)}" {{', "  rankdir=LR;",
+             "  node [shape=box, fontsize=9];",
+             "  compound=true;"]
+    for gpu in ir.gpus:
+        lines.append(f"  subgraph cluster_gpu{gpu.rank} {{")
+        lines.append(f'    label="GPU {gpu.rank}";')
+        for tb in gpu.threadblocks:
+            cluster = f"cluster_g{gpu.rank}tb{tb.tb_id}"
+            lines.append(f"    subgraph {cluster} {{")
+            peers = (f"send->{tb.send_peer} recv<-{tb.recv_peer} "
+                     f"ch{tb.channel}")
+            lines.append(f'      label="tb{tb.tb_id} {peers}";')
+            previous = None
+            for instr in tb.instructions:
+                node = f"n{gpu.rank}_{tb.tb_id}_{instr.step}"
+                label = f"{instr.step}: {instr.op.value}"
+                lines.append(f'      {node} [label="{_escape(label)}"];')
+                if previous is not None:
+                    lines.append(f"      {previous} -> {node};")
+                previous = node
+            lines.append("    }")
+        lines.append("  }")
+    # Cross thread block dependencies.
+    for gpu in ir.gpus:
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                node = f"n{gpu.rank}_{tb.tb_id}_{instr.step}"
+                for dep_tb, dep_step in instr.depends:
+                    src = f"n{gpu.rank}_{dep_tb}_{dep_step}"
+                    lines.append(
+                        f"  {src} -> {node} [color=red, style=dashed];"
+                    )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def describe_ir(ir: MscclIr) -> str:
+    """A compact human-readable IR summary (counts, channels, shape)."""
+    histogram = ", ".join(
+        f"{op}:{count}" for op, count in sorted(ir.op_histogram().items())
+    )
+    lines = [
+        f"program {ir.name!r} ({ir.collective}, {ir.protocol}"
+        f"{', in-place' if ir.in_place else ''})",
+        f"  ranks: {ir.num_ranks}",
+        f"  thread blocks: {ir.threadblock_count()} "
+        f"(max {ir.max_threadblocks_per_gpu()}/GPU)",
+        f"  channels: {ir.channels_used()}",
+        f"  connections: {len(ir.connections())}",
+        f"  instructions: {ir.instruction_count()} ({histogram})",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""NCCL-style baseline schedules and the size-based selection model."""
+
+from .ring import (
+    MAX_NCCL_CHANNELS,
+    default_rings,
+    nccl_ring_allreduce,
+    select_instances,
+    select_protocol,
+)
+from .selector import NcclModel
+from .tree import nccl_tree_allreduce
+
+__all__ = [
+    "MAX_NCCL_CHANNELS",
+    "default_rings",
+    "NcclModel",
+    "nccl_ring_allreduce",
+    "nccl_tree_allreduce",
+    "select_instances",
+    "select_protocol",
+]

@@ -1,0 +1,105 @@
+"""The NCCL-style Ring AllReduce baseline.
+
+Section 7.1.1 of the paper reverse-engineers NCCL's Ring schedule as
+"roughly equivalent to scheduling a logical ring onto one channel,
+parallelizing the entire program 24 times, and varying the protocol
+based on the buffer size". On multiple nodes, NCCL's topology search
+additionally builds its rings with *different* node-internal orderings
+so each ring crosses the node boundary on a different GPU's NIC,
+spreading inter-node traffic over all NICs. Both aspects are modeled
+here — through the same compiler and simulator as every MSCCLang
+program, so comparisons isolate the schedule, not the machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.collectives import AllReduce
+from ..core.program import MSCCLProgram, chunk
+
+MAX_NCCL_CHANNELS = 24
+
+
+def _ring_order(num_nodes: int, gpus_per_node: int,
+                rotation: int) -> List[int]:
+    """Rank order of one ring: GPU order rotated inside every node.
+
+    Rotation ``j`` makes the boundary hop leave each node from GPU
+    ``(j - 1) % G`` and enter the next at GPU ``j % G``, so different
+    rings use different NICs.
+    """
+    order = []
+    for node in range(num_nodes):
+        for i in range(gpus_per_node):
+            order.append(node * gpus_per_node
+                         + (i + rotation) % gpus_per_node)
+    return order
+
+
+def nccl_ring_allreduce(num_ranks: int, *,
+                        gpus_per_node: Optional[int] = None,
+                        rings: int = 1,
+                        instances: int = MAX_NCCL_CHANNELS,
+                        protocol: str = "Simple") -> MSCCLProgram:
+    """NCCL's Ring AllReduce schedule.
+
+    ``rings`` logical rings with rotated node-internal orderings share
+    the chunks (ring ``j`` owns chunks ``j mod rings``); the whole
+    program is then parallelized ``instances`` times. On a single node
+    ``rings=1`` reproduces the paper's "one channel, 24 instances".
+    """
+    g = gpus_per_node or num_ranks
+    if num_ranks % g:
+        raise ValueError("num_ranks must be a multiple of gpus_per_node")
+    if num_ranks % rings:
+        raise ValueError("rings must divide num_ranks")
+    num_nodes = num_ranks // g
+    collective = AllReduce(num_ranks, chunk_factor=num_ranks, in_place=True)
+    label = (
+        f"nccl_ring_allreduce_{num_ranks}_rings{rings}"
+        f"_r{instances}_{protocol.lower()}"
+    )
+    with MSCCLProgram(label, collective, gpus_per_node=g,
+                      protocol=protocol, instances=instances) as program:
+        for index in range(num_ranks):
+            ring = index % rings
+            order = _ring_order(num_nodes, g, ring % g)
+            position = order.index(index)  # the chunk starts at its owner
+            c = chunk(order[(position + 1) % num_ranks], "in", index)
+            for step in range(1, num_ranks):
+                nxt = order[(position + 1 + step) % num_ranks]
+                c = chunk(nxt, "in", index).reduce(c, ch=ring)
+            for step in range(num_ranks - 1):
+                nxt = order[(position + 1 + step) % num_ranks]
+                c = c.copy(nxt, "in", index, ch=ring)
+    return program
+
+
+def default_rings(num_nodes: int, gpus_per_node: int) -> int:
+    """How many distinct rings NCCL builds: one per NIC path when the
+    topology is multi-node, a single logical ring otherwise."""
+    if num_nodes <= 1:
+        return 1
+    return min(gpus_per_node, 8)
+
+
+def select_protocol(buffer_bytes: float) -> str:
+    """NCCL's size-based protocol choice.
+
+    NCCL's internal latency/bandwidth model abandons LL well before LL
+    stops being the best choice for this topology — which is exactly the
+    band (32KB-3MB) where the paper's multi-channel LL Ring wins by up
+    to 1.9x (section 7.1.1).
+    """
+    if buffer_bytes <= 32 * 1024:
+        return "LL"
+    if buffer_bytes <= 1024 * 1024:
+        return "LL128"
+    return "Simple"
+
+
+def select_instances(buffer_bytes: float, rings: int = 1) -> int:
+    """NCCL's parallelization: 24 channels total across its rings."""
+    del buffer_bytes
+    return max(1, MAX_NCCL_CHANNELS // rings)

@@ -1,0 +1,94 @@
+"""The NCCL baseline model: compiled schedules + size-based selection.
+
+``NcclModel`` lazily compiles the NCCL-style schedules for a topology
+and answers "how long would NCCL take" for a collective call of a given
+size, applying NCCL's protocol/channel-count heuristics. Everything
+runs through the same compiler and simulator as MSCCLang programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.compiler import CompilerOptions, compile_program
+from ..core.ir import MscclIr
+from ..runtime.simulator import IrSimulator, SimConfig, SimResult
+from ..topology.model import Topology
+from ..algorithms.alltoall_twostep import naive_alltoall
+from .ring import (default_rings, nccl_ring_allreduce, select_instances,
+                   select_protocol)
+
+
+class NcclModel:
+    """Simulated NCCL for one topology (AllReduce and AllToAll)."""
+
+    def __init__(self, topology: Topology,
+                 sim_config: Optional[SimConfig] = None):
+        self.topology = topology
+        self.sim_config = sim_config or SimConfig()
+        self._ir_cache: Dict[Tuple[str, str, int], MscclIr] = {}
+
+    # -- schedule construction ------------------------------------------
+    def _compile(self, kind: str, protocol: str, instances: int) -> MscclIr:
+        key = (kind, protocol, instances)
+        ir = self._ir_cache.get(key)
+        if ir is not None:
+            return ir
+        num_ranks = self.topology.num_ranks
+        if kind == "allreduce_ring":
+            machine = self.topology.machine
+            rings = default_rings(
+                self.topology.num_nodes, machine.gpus_per_node
+            )
+            program = nccl_ring_allreduce(
+                num_ranks,
+                gpus_per_node=machine.gpus_per_node,
+                rings=rings,
+                instances=instances,
+                protocol=protocol,
+            )
+        elif kind == "alltoall":
+            program = naive_alltoall(
+                num_ranks, instances=instances, protocol=protocol,
+                gpus_per_node=self.topology.machine.gpus_per_node,
+            )
+        else:
+            raise ValueError(f"unknown NCCL schedule kind {kind!r}")
+        options = CompilerOptions(
+            max_threadblocks=self.topology.machine.sm_count
+        )
+        ir = compile_program(program, options)
+        self._ir_cache[key] = ir
+        return ir
+
+    # -- timing queries -----------------------------------------------------
+    def allreduce_time(self, buffer_bytes: float, *,
+                       protocol: Optional[str] = None,
+                       instances: Optional[int] = None) -> SimResult:
+        """Simulated NCCL Ring AllReduce latency for a buffer size."""
+        protocol = protocol or select_protocol(buffer_bytes)
+        if instances is None:
+            rings = default_rings(
+                self.topology.num_nodes,
+                self.topology.machine.gpus_per_node,
+            )
+            instances = select_instances(buffer_bytes, rings)
+        ir = self._compile("allreduce_ring", protocol, instances)
+        chunk_bytes = buffer_bytes / self.topology.num_ranks
+        sim = IrSimulator(ir, self.topology, config=self.sim_config)
+        return sim.run(chunk_bytes=chunk_bytes)
+
+    def alltoall_time(self, buffer_bytes: float, *,
+                      protocol: Optional[str] = None,
+                      instances: int = 1) -> SimResult:
+        """Simulated NCCL (point-to-point) AllToAll latency.
+
+        ``buffer_bytes`` is the per-GPU input buffer (R blocks).
+        """
+        protocol = protocol or select_protocol(
+            buffer_bytes / self.topology.num_ranks
+        )
+        ir = self._compile("alltoall", protocol, instances)
+        chunk_bytes = buffer_bytes / self.topology.num_ranks
+        sim = IrSimulator(ir, self.topology, config=self.sim_config)
+        return sim.run(chunk_bytes=chunk_bytes)

@@ -1,0 +1,43 @@
+"""NCCL-style Tree AllReduce baseline.
+
+NCCL's second standard algorithm: reduce up a binary tree rooted at
+rank 0, then broadcast the total back down. Latency scales with the
+tree depth (log R) instead of the ring's 2R-2 hops, so NCCL prefers it
+for small buffers on large rank counts. We build a single binary tree
+over the whole buffer (NCCL uses a double tree; the second tree only
+halves the bandwidth term, which whole-program instances model here).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.collectives import AllReduce
+from ..core.program import MSCCLProgram, chunk
+
+
+def _children(rank: int, num_ranks: int) -> List[int]:
+    kids = [2 * rank + 1, 2 * rank + 2]
+    return [k for k in kids if k < num_ranks]
+
+
+def nccl_tree_allreduce(num_ranks: int, *, instances: int = 2,
+                        protocol: str = "LL",
+                        name: Optional[str] = None) -> MSCCLProgram:
+    """Reduce-to-root then broadcast over a binary tree."""
+    collective = AllReduce(num_ranks, chunk_factor=1, in_place=True)
+    label = name or f"nccl_tree_allreduce_r{instances}_{protocol.lower()}"
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        # Reduce phase: post-order so children accumulate before parents.
+        order = sorted(range(num_ranks),
+                       key=lambda r: -r.bit_length())
+        for rank in order:
+            for child in _children(rank, num_ranks):
+                acc = chunk(rank, "in", 0)
+                acc.reduce(chunk(child, "in", 0))
+        # Broadcast phase: pre-order from the root.
+        for rank in sorted(range(num_ranks), key=lambda r: r.bit_length()):
+            for child in _children(rank, num_ranks):
+                chunk(rank, "in", 0).copy(child, "in", 0)
+    return program

@@ -1,0 +1,43 @@
+"""The MSCCLang runtime substitute: protocols, simulator, executor."""
+
+from .api import CallRecord, Communicator
+from .config import AlgorithmRegistry, RegisteredAlgorithm
+from .events import EventLoop, Signal
+from .executor import IrExecutor
+from .profile import (
+    TbProfile,
+    critical_path,
+    profile_threadblocks,
+    slowest_threadblocks,
+    timeline,
+    utilization_report,
+)
+from .protocols import (LL, LL128, PROTOCOLS, SIMPLE, SIMPLE_DIRECT,
+                        Protocol, get_protocol)
+from .simulator import IrSimulator, SimConfig, SimResult
+
+__all__ = [
+    "AlgorithmRegistry",
+    "CallRecord",
+    "Communicator",
+    "EventLoop",
+    "IrExecutor",
+    "IrSimulator",
+    "LL",
+    "LL128",
+    "PROTOCOLS",
+    "Protocol",
+    "RegisteredAlgorithm",
+    "SIMPLE",
+    "SIMPLE_DIRECT",
+    "SimConfig",
+    "SimResult",
+    "Signal",
+    "TbProfile",
+    "critical_path",
+    "profile_threadblocks",
+    "slowest_threadblocks",
+    "timeline",
+    "utilization_report",
+    "get_protocol",
+]

@@ -1,0 +1,142 @@
+"""An NCCL-like communicator facade over the simulated runtime.
+
+The paper's runtime "is API-compatible with NCCL allowing existing ML
+workloads to easily convert" and "dynamically selects the right
+algorithm to invoke based on user configurable size ranges and falls
+back to NCCL's built-in algorithms otherwise" (section 6). This module
+provides that surface for the simulator: a :class:`Communicator` with
+``all_reduce`` / ``all_to_all`` / ``all_gather`` calls that select a
+registered MSCCLang program by buffer size, simulate it, and fall back
+to the NCCL model when nothing better is registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.collectives import Collective
+from ..core.errors import RuntimeConfigError
+from ..core.ir import MscclIr
+from ..nccl.selector import NcclModel
+from ..topology.model import Topology
+from .config import AlgorithmRegistry
+from .simulator import IrSimulator, SimConfig, SimResult
+
+
+@dataclass
+class CallRecord:
+    """One collective invocation, for profiling-style introspection."""
+
+    collective: str
+    buffer_bytes: float
+    algorithm: str
+    time_us: float
+
+
+@dataclass
+class Communicator:
+    """Simulated NCCL-compatible communicator on a topology.
+
+    Register tuned MSCCLang programs with :meth:`register`; collective
+    calls select by size and fall back to the NCCL baseline. Every call
+    is recorded in :attr:`history` with the algorithm used and its
+    simulated latency, so workload traces can be replayed and audited.
+    """
+
+    topology: Topology
+    sim_config: SimConfig = field(default_factory=SimConfig)
+    history: List[CallRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._registries: Dict[str, AlgorithmRegistry] = {}
+        self._nccl = NcclModel(self.topology, self.sim_config)
+
+    @property
+    def num_ranks(self) -> int:
+        return self.topology.num_ranks
+
+    # -- registration ----------------------------------------------------
+    def register(self, ir: MscclIr, collective: Collective,
+                 min_bytes: float = 0.0,
+                 max_bytes: float = float("inf"),
+                 label: str = "") -> None:
+        """Register a compiled program for a buffer-size range."""
+        if ir.num_ranks != self.num_ranks:
+            raise RuntimeConfigError(
+                f"program has {ir.num_ranks} ranks, communicator has "
+                f"{self.num_ranks}"
+            )
+        registry = self._registries.setdefault(
+            ir.collective, AlgorithmRegistry(ir.collective)
+        )
+        entry = registry.register(ir, min_bytes, max_bytes, label)
+        # Remember sizing so calls can convert buffer bytes to chunks.
+        entry.sizing_chunks = collective.sizing_chunks()
+
+    def register_registry(self, registry: AlgorithmRegistry,
+                          sizing_chunks: int) -> None:
+        """Adopt a whole registry (e.g. from the autotuner)."""
+        for entry in registry.algorithms:
+            entry.sizing_chunks = sizing_chunks
+        self._registries[registry.collective_name] = registry
+
+    # -- collective calls ---------------------------------------------------
+    def all_reduce(self, buffer_bytes: float) -> SimResult:
+        return self._call("allreduce", buffer_bytes,
+                          fallback=self._nccl.allreduce_time)
+
+    def all_to_all(self, buffer_bytes: float) -> SimResult:
+        return self._call("alltoall", buffer_bytes,
+                          fallback=self._nccl.alltoall_time)
+
+    def all_gather(self, buffer_bytes: float) -> SimResult:
+        return self._call("allgather", buffer_bytes, fallback=None)
+
+    def reduce_scatter(self, buffer_bytes: float) -> SimResult:
+        return self._call("reducescatter", buffer_bytes, fallback=None)
+
+    def _call(self, collective: str, buffer_bytes: float,
+              fallback) -> SimResult:
+        registry = self._registries.get(collective)
+        entry = None
+        if registry is not None:
+            for candidate in registry.algorithms:
+                if candidate.matches(buffer_bytes):
+                    entry = candidate
+                    break
+        if entry is not None:
+            simulator = IrSimulator(entry.ir, self.topology,
+                                    config=self.sim_config)
+            result = simulator.run(
+                chunk_bytes=buffer_bytes / entry.sizing_chunks
+            )
+            label = entry.label
+        elif fallback is not None:
+            result = fallback(buffer_bytes)
+            label = "nccl-fallback"
+        else:
+            raise RuntimeConfigError(
+                f"no algorithm registered for {collective} at "
+                f"{buffer_bytes} bytes and NCCL has no built-in here"
+            )
+        self.history.append(CallRecord(
+            collective=collective, buffer_bytes=buffer_bytes,
+            algorithm=label, time_us=result.time_us,
+        ))
+        return result
+
+    # -- introspection ------------------------------------------------------
+    def total_time_us(self) -> float:
+        return sum(record.time_us for record in self.history)
+
+    def summary(self) -> str:
+        """Per-algorithm call counts and cumulative time."""
+        by_algorithm: Dict[str, List[CallRecord]] = {}
+        for record in self.history:
+            by_algorithm.setdefault(record.algorithm, []).append(record)
+        lines = [f"{'algorithm':<28s} {'calls':>6s} {'total us':>12s}"]
+        for label, records in sorted(by_algorithm.items()):
+            total = sum(r.time_us for r in records)
+            lines.append(f"{label:<28s} {len(records):>6d} {total:>12.1f}")
+        return "\n".join(lines)

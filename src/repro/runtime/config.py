@@ -1,0 +1,82 @@
+"""Runtime algorithm registry: size-based selection with NCCL fallback.
+
+The paper's runtime dynamically selects an MSCCL-IR program based on
+user-configurable buffer-size ranges and falls back to NCCL's built-in
+algorithms otherwise (section 6). :class:`AlgorithmRegistry` reproduces
+that policy for the simulator: programs register with a byte range and
+the runtime picks the first match, else the fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.errors import RuntimeConfigError
+from ..core.ir import MscclIr
+
+
+@dataclass
+class RegisteredAlgorithm:
+    """An IR valid for buffer sizes in [min_bytes, max_bytes].
+
+    ``sizing_chunks`` converts a call's buffer size into the program's
+    chunk payload (set by the registering Communicator/autotuner).
+    """
+
+    ir: MscclIr
+    min_bytes: float
+    max_bytes: float
+    label: str = ""
+    sizing_chunks: int = 1
+
+    def matches(self, nbytes: float) -> bool:
+        return self.min_bytes <= nbytes <= self.max_bytes
+
+
+@dataclass
+class AlgorithmRegistry:
+    """Selects an algorithm for a collective call by buffer size."""
+
+    collective_name: str
+    algorithms: List[RegisteredAlgorithm] = field(default_factory=list)
+    fallback: Optional[Callable[[float], MscclIr]] = None
+
+    def register(self, ir: MscclIr, min_bytes: float = 0.0,
+                 max_bytes: float = float("inf"),
+                 label: str = "") -> RegisteredAlgorithm:
+        """Register an IR for a size range; first match wins."""
+        if ir.collective != self.collective_name:
+            raise RuntimeConfigError(
+                f"IR implements {ir.collective!r}, registry is for "
+                f"{self.collective_name!r}"
+            )
+        if min_bytes > max_bytes:
+            raise RuntimeConfigError(
+                f"empty size range [{min_bytes}, {max_bytes}]"
+            )
+        entry = RegisteredAlgorithm(ir, min_bytes, max_bytes,
+                                    label or ir.name)
+        self.algorithms.append(entry)
+        return entry
+
+    def select(self, nbytes: float) -> MscclIr:
+        """The IR to run for a buffer of ``nbytes`` (or the fallback)."""
+        for entry in self.algorithms:
+            if entry.matches(nbytes):
+                return entry.ir
+        if self.fallback is not None:
+            return self.fallback(nbytes)
+        raise RuntimeConfigError(
+            f"no algorithm registered for {self.collective_name} at "
+            f"{nbytes} bytes and no fallback configured"
+        )
+
+    def selected_label(self, nbytes: float) -> str:
+        """Human-readable name of what select() would run."""
+        for entry in self.algorithms:
+            if entry.matches(nbytes):
+                return entry.label
+        if self.fallback is not None:
+            return "fallback"
+        return "<none>"

@@ -1,0 +1,135 @@
+"""Profiling tools over simulator execution traces.
+
+Run the simulator with ``SimConfig(collect_trace=True)`` and feed the
+result here to answer the questions a performance engineer asks of a
+real collective: which thread blocks are busy vs. waiting, where the
+critical path sits, what each rank's timeline looks like. This is the
+analysis loop behind the paper's manual tuning ("we tune ... for the
+system") made first-class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.errors import RuntimeConfigError
+from .simulator import SimResult
+
+
+@dataclass
+class TbProfile:
+    """Activity summary of one thread block."""
+
+    rank: int
+    tb_id: int
+    instructions_executed: int
+    first_start_us: float
+    last_end_us: float
+    active_us: float  # sum of instruction durations
+
+    @property
+    def span_us(self) -> float:
+        return self.last_end_us - self.first_start_us
+
+    @property
+    def utilization(self) -> float:
+        """Active share of the block's own first-to-last span."""
+        if self.span_us <= 0:
+            return 1.0
+        return min(1.0, self.active_us / self.span_us)
+
+
+def profile_threadblocks(result: SimResult) -> List[TbProfile]:
+    """Per-thread-block activity from a collected trace."""
+    if result.trace is None:
+        raise RuntimeConfigError(
+            "no trace collected; run with SimConfig(collect_trace=True)"
+        )
+    grouped: Dict[Tuple[int, int], List] = {}
+    for entry in result.trace:
+        grouped.setdefault((entry.rank, entry.tb_id), []).append(entry)
+    profiles = []
+    for (rank, tb_id), entries in sorted(grouped.items()):
+        profiles.append(TbProfile(
+            rank=rank,
+            tb_id=tb_id,
+            instructions_executed=len(entries),
+            first_start_us=min(e.start_us for e in entries),
+            last_end_us=max(e.end_us for e in entries),
+            active_us=sum(e.end_us - e.start_us for e in entries),
+        ))
+    return profiles
+
+
+def slowest_threadblocks(result: SimResult,
+                         top: int = 5) -> List[TbProfile]:
+    """Thread blocks whose last instruction finishes latest."""
+    profiles = profile_threadblocks(result)
+    return sorted(profiles, key=lambda p: -p.last_end_us)[:top]
+
+
+def utilization_report(result: SimResult) -> str:
+    """Text table: per thread block, activity and idle share."""
+    profiles = profile_threadblocks(result)
+    lines = [
+        f"{'tb':>10s} {'instrs':>7s} {'span us':>10s} "
+        f"{'active us':>10s} {'util':>6s}"
+    ]
+    for profile in profiles:
+        tb = f"r{profile.rank}/tb{profile.tb_id}"
+        lines.append(
+            f"{tb:>10s} {profile.instructions_executed:>7d} "
+            f"{profile.span_us:>10.1f} {profile.active_us:>10.1f} "
+            f"{profile.utilization:>5.0%}"
+        )
+    return "\n".join(lines)
+
+
+def critical_path(result: SimResult, top: int = 10) -> List[str]:
+    """The longest-running instruction occurrences, formatted.
+
+    Not a true dependency-chain critical path (the trace does not carry
+    edges), but the dominant instruction occurrences reliably point at
+    the bottleneck stage in practice.
+    """
+    if result.trace is None:
+        raise RuntimeConfigError(
+            "no trace collected; run with SimConfig(collect_trace=True)"
+        )
+    heaviest = sorted(
+        result.trace, key=lambda e: e.end_us - e.start_us, reverse=True
+    )[:top]
+    return [
+        f"r{e.rank}/tb{e.tb_id} tile{e.tile} step{e.step} {e.op}: "
+        f"{e.end_us - e.start_us:.1f}us "
+        f"[{e.start_us:.1f}..{e.end_us:.1f}]"
+        for e in heaviest
+    ]
+
+
+def timeline(result: SimResult, rank: int, width: int = 64) -> str:
+    """ASCII gantt of one rank's thread blocks ('#' active, '.' idle)."""
+    if result.trace is None:
+        raise RuntimeConfigError(
+            "no trace collected; run with SimConfig(collect_trace=True)"
+        )
+    entries = [e for e in result.trace if e.rank == rank]
+    if not entries:
+        return f"(rank {rank} executed nothing)"
+    horizon = max(e.end_us for e in entries)
+    scale = width / horizon if horizon else 1.0
+    rows = []
+    tb_ids = sorted({e.tb_id for e in entries})
+    for tb_id in tb_ids:
+        cells = ["."] * width
+        for e in entries:
+            if e.tb_id != tb_id:
+                continue
+            lo = min(width - 1, int(e.start_us * scale))
+            hi = min(width, max(lo + 1, int(e.end_us * scale)))
+            for position in range(lo, hi):
+                cells[position] = "#"
+        rows.append(f"tb{tb_id:<3d} |{''.join(cells)}|")
+    rows.append(f"      0us{'-' * (width - 12)}{horizon:.0f}us")
+    return "\n".join(rows)

@@ -1,0 +1,102 @@
+"""NCCL communication protocols: Simple, LL, LL128 (paper section 6.1).
+
+A protocol defines the FIFO geometry (slot size, number of slots) and
+the latency/bandwidth trade-off:
+
+* **Simple** — full link bandwidth but each slot handover costs a
+  synchronization (highest latency).
+* **LL** (low latency) — every 8 bytes carry a 4-byte flag, halving
+  effective bandwidth, but a send is just a flagged store (lowest
+  latency).
+* **LL128** — flags per 128-byte line; ~95% of bandwidth at latency
+  between the other two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.errors import RuntimeConfigError
+
+KiB = 1024
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """Runtime protocol parameters.
+
+    ``slot_bytes``/``num_slots`` give the FIFO geometry of every
+    connection; chunks bigger than a slot are split into that many tiles
+    and pipelined. ``bandwidth_efficiency`` scales link bandwidth;
+    ``alpha_overhead`` (us) is added to every tile handover on top of
+    the link's base latency.
+    """
+
+    name: str
+    slot_bytes: int
+    num_slots: int
+    bandwidth_efficiency: float
+    alpha_overhead: float
+    # Direct-copy transport: sends write straight into the destination
+    # buffer instead of staging through FIFO slots, eliminating the
+    # receiver's consume pass. The paper leaves adding SCCL's direct
+    # copy to the MSCCLang protocols as future work (section 7.5); this
+    # implements it.
+    direct_copy: bool = False
+
+    def tile_bytes(self) -> int:
+        return self.slot_bytes
+
+
+SIMPLE = Protocol(
+    name="Simple",
+    slot_bytes=512 * KiB,
+    num_slots=8,
+    bandwidth_efficiency=1.0,
+    alpha_overhead=3.5,
+)
+
+LL = Protocol(
+    name="LL",
+    slot_bytes=16 * KiB,
+    num_slots=8,
+    bandwidth_efficiency=0.5,
+    alpha_overhead=0.3,
+)
+
+LL128 = Protocol(
+    name="LL128",
+    slot_bytes=120 * KiB,
+    num_slots=8,
+    bandwidth_efficiency=0.9375,
+    alpha_overhead=1.2,
+)
+
+SIMPLE_DIRECT = Protocol(
+    name="Simple-Direct",
+    slot_bytes=512 * KiB,
+    num_slots=8,
+    bandwidth_efficiency=1.0,
+    alpha_overhead=1.5,
+    direct_copy=True,
+)
+
+PROTOCOLS: Dict[str, Protocol] = {
+    "Simple": SIMPLE,
+    "LL": LL,
+    "LL128": LL128,
+    "Simple-Direct": SIMPLE_DIRECT,
+}
+
+
+def get_protocol(name) -> Protocol:
+    """Look up a protocol by name (case-insensitive) or pass one through."""
+    if isinstance(name, Protocol):
+        return name
+    for key, proto in PROTOCOLS.items():
+        if key.lower() == str(name).lower():
+            return proto
+    raise RuntimeConfigError(
+        f"unknown protocol {name!r}; expected one of {sorted(PROTOCOLS)}"
+    )

@@ -1,0 +1,447 @@
+"""Discrete-event interpreter for MSCCL-IR (the runtime substitute).
+
+This plays the role of the paper's CUDA interpreter (section 6): every
+thread block is a sequential process executing its instruction list once
+per *tile* (the pipelining loop of Figure 5), connections are FIFOs with
+protocol-defined slot counts, and cross-thread-block dependencies block
+on semaphores. Timing comes from an alpha-beta cost model with FCFS
+bandwidth resources (see :mod:`repro.topology.model`), which makes link
+contention, per-thread-block injection limits, fusion benefits, and
+pipelining overlap all first-class effects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import SimulationError
+from ..core.instructions import Op
+from ..core.ir import MscclIr
+from ..topology.model import Resource, Topology
+from .events import EventLoop, Signal
+from .protocols import Protocol, get_protocol
+
+FUSED_SEND_OPS = frozenset({
+    Op.RECV_COPY_SEND, Op.RECV_REDUCE_COPY_SEND, Op.RECV_REDUCE_SEND,
+})
+
+
+@dataclass
+class SimConfig:
+    """Simulation fidelity knobs.
+
+    ``max_tiles`` bounds the pipelining loop's trip count to keep event
+    counts manageable for multi-GB sweeps; pipelining benefits saturate
+    after a handful of tiles, so this mainly trades accuracy of the
+    per-tile alpha amortization (applied identically to all algorithms).
+    """
+
+    max_tiles: int = 16
+    instruction_overhead: float = 0.12  # us, per instruction per tile
+    semaphore_overhead: float = 0.25  # us, threadfence + semaphore set
+    include_launch: bool = True
+    collect_trace: bool = False  # record per-instruction TraceEntry rows
+    # SCCL-style direct copy: sends write straight into the destination
+    # buffer (no FIFO staging, no consume pass on the receiver). Used by
+    # the SCCL-runtime comparison of paper section 7.5.
+    direct_copy: bool = False
+    # Fault injection: resource-name prefix -> bandwidth multiplier.
+    # E.g. {"nic_out[0,3]": 0.25} runs one NIC at quarter speed to study
+    # straggler behaviour (algorithms that stripe over many paths, like
+    # AllToNext, degrade gracefully; single-path ones stall).
+    degradations: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TraceEntry:
+    """One executed instruction occurrence (when tracing is enabled)."""
+
+    start_us: float
+    end_us: float
+    rank: int
+    tb_id: int
+    tile: int
+    step: int
+    op: str
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated execution."""
+
+    time_us: float
+    tiles: int
+    instruction_count: int
+    threadblocks: int
+    chunk_bytes: float
+    protocol: str
+    resource_busy_us: Dict[str, float] = field(default_factory=dict)
+    trace: Optional[list] = None
+
+    @property
+    def time_s(self) -> float:
+        return self.time_us * 1e-6
+
+    def algbw_gbps(self, total_bytes: float) -> float:
+        """Algorithm bandwidth: moved bytes over elapsed time."""
+        if self.time_us <= 0:
+            return float("inf")
+        return total_bytes / self.time_us / 1e3
+
+
+class _Connection:
+    """One (src, dst, channel) FIFO between a sender and a receiver TB.
+
+    Messages stream cut-through style: each carries the time its first
+    byte lands (when the receiver may start consuming) and the time its
+    last byte lands (before which the receiver cannot finish). Messages
+    are identified by sequence number: the sender's k-th message uses
+    FIFO slot ``k mod slots`` and pairs with the receive tagged ``k``
+    (per tile), so receives may drain out of program order within the
+    slot window, exactly like the indexed slots of the real runtime.
+    """
+
+    __slots__ = ("key", "slots", "issued", "consumed_count",
+                 "sends_per_tile", "arrivals", "consumed",
+                 "prev_first", "prev_last",
+                 "arrival_signal", "slot_signal")
+
+    def __init__(self, key: Tuple[int, int, int], slots: int,
+                 sends_per_tile: int):
+        self.key = key
+        self.slots = slots
+        self.issued = 0
+        self.consumed_count = 0
+        self.sends_per_tile = sends_per_tile
+        self.arrivals: Dict[int, float] = {}  # seq -> last-byte time
+        self.consumed: set = set()
+        self.prev_first = 0.0
+        self.prev_last = 0.0
+        self.arrival_signal = Signal()
+        self.slot_signal = Signal()
+
+    def clamp_fifo(self, first_byte: float,
+                   last_byte: float) -> Tuple[float, float]:
+        """Enforce in-order delivery on the connection."""
+        first_byte = max(first_byte, self.prev_first)
+        last_byte = max(last_byte, self.prev_last, first_byte)
+        self.prev_first = first_byte
+        self.prev_last = last_byte
+        return first_byte, last_byte
+
+
+class _Semaphore:
+    """Per-thread-block monotone progress counter (paper Figure 5)."""
+
+    __slots__ = ("value", "signal")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.signal = Signal()
+
+
+class IrSimulator:
+    """Simulates one IR execution on a topology with a protocol."""
+
+    def __init__(self, ir: MscclIr, topology: Topology,
+                 protocol: Optional[Protocol] = None,
+                 config: Optional[SimConfig] = None):
+        if ir.num_ranks != topology.num_ranks:
+            raise SimulationError(
+                f"IR has {ir.num_ranks} ranks but topology has "
+                f"{topology.num_ranks}"
+            )
+        self.ir = ir
+        self.topology = topology
+        self.protocol = get_protocol(protocol or ir.protocol)
+        self.config = config or SimConfig()
+        # The direct-copy transport may come from either the protocol
+        # (Simple-Direct, the paper's section 7.5 future work) or the
+        # SCCL-runtime comparison's explicit config flag.
+        self._direct = self.config.direct_copy or self.protocol.direct_copy
+
+    # -- public API -----------------------------------------------------
+    def run(self, chunk_bytes: float) -> SimResult:
+        """Execute the IR with the given per-chunk payload size."""
+        if chunk_bytes <= 0:
+            raise SimulationError("chunk_bytes must be positive")
+        self.topology.reset_resources()
+        loop = EventLoop()
+        tiles = self._tile_count(chunk_bytes)
+        connections = self._build_connections()
+        semaphores: Dict[Tuple[int, int], _Semaphore] = {}
+        engines: Dict[Tuple[int, int], Resource] = {}
+        tb_lengths: Dict[Tuple[int, int], int] = {}
+        machine = self.topology.machine
+
+        for gpu in self.ir.gpus:
+            for tb in gpu.threadblocks:
+                key = (gpu.rank, tb.tb_id)
+                semaphores[key] = _Semaphore()
+                engines[key] = Resource(
+                    f"engine[{gpu.rank},{tb.tb_id}]",
+                    machine.threadblock_bandwidth,
+                )
+                tb_lengths[key] = len(tb.instructions)
+
+        trace = [] if self.config.collect_trace else None
+        for gpu in self.ir.gpus:
+            for tb in gpu.threadblocks:
+                loop.spawn(self._tb_process(
+                    loop, gpu.rank, tb, tiles, chunk_bytes, connections,
+                    semaphores, engines, tb_lengths, trace,
+                ))
+
+        elapsed = loop.run()
+        for conn in connections.values():
+            if conn.issued != conn.consumed_count:
+                raise SimulationError(
+                    f"connection {conn.key} finished with {conn.issued} "
+                    f"sends but {conn.consumed_count} receives"
+                )
+        if self.config.include_launch:
+            elapsed += machine.kernel_launch_overhead
+        busy = {
+            name: res.busy_time
+            for name, res in self.topology._resources.items()
+        }
+        return SimResult(
+            time_us=elapsed,
+            tiles=tiles,
+            instruction_count=self.ir.instruction_count(),
+            threadblocks=self.ir.threadblock_count(),
+            chunk_bytes=chunk_bytes,
+            protocol=self.protocol.name,
+            resource_busy_us=busy,
+            trace=trace,
+        )
+
+    # -- internals --------------------------------------------------------
+    def _degradation(self, resource_name: str) -> float:
+        """Bandwidth multiplier for an (optionally degraded) resource."""
+        for prefix, factor in self.config.degradations.items():
+            if resource_name.startswith(prefix):
+                return factor
+        return 1.0
+
+    def _tile_count(self, chunk_bytes: float) -> int:
+        largest = 0.0
+        for gpu in self.ir.gpus:
+            for tb in gpu.threadblocks:
+                for instr in tb.instructions:
+                    frac = float(instr.frac_hi - instr.frac_lo)
+                    largest = max(largest, chunk_bytes * frac)
+        tiles = max(1, math.ceil(largest / self.protocol.slot_bytes))
+        return min(tiles, self.config.max_tiles)
+
+    def _build_connections(self) -> Dict[Tuple[int, int, int], _Connection]:
+        sends_per_tile: Dict[Tuple[int, int, int], int] = {}
+        keys = set()
+        for gpu in self.ir.gpus:
+            for tb in gpu.threadblocks:
+                if tb.send_peer is not None:
+                    key = (gpu.rank, tb.send_peer, tb.channel)
+                    keys.add(key)
+                    count = sum(
+                        1 for instr in tb.instructions
+                        if instr.op in (Op.SEND, Op.RECV_COPY_SEND,
+                                        Op.RECV_REDUCE_COPY_SEND,
+                                        Op.RECV_REDUCE_SEND)
+                    )
+                    sends_per_tile[key] = count
+                if tb.recv_peer is not None:
+                    keys.add((tb.recv_peer, gpu.rank, tb.channel))
+        return {
+            key: _Connection(key, self.protocol.num_slots,
+                             sends_per_tile.get(key, 0))
+            for key in keys
+        }
+
+    def _instr_bytes(self, instr, chunk_bytes: float, tiles: int) -> float:
+        frac = float(instr.frac_hi - instr.frac_lo)
+        return chunk_bytes * frac * instr.count / tiles
+
+    def _tb_process(self, loop: EventLoop, rank: int, tb, tiles: int,
+                    chunk_bytes: float, connections, semaphores, engines,
+                    tb_lengths, trace=None):
+        """Generator process: the interpreter loop of paper Figure 5."""
+        cfg = self.config
+        machine = self.topology.machine
+        engine = engines[(rank, tb.tb_id)]
+        my_sem = semaphores[(rank, tb.tb_id)]
+        n = len(tb.instructions)
+        out_conn = None
+        in_conn = None
+        if tb.send_peer is not None:
+            out_conn = connections[(rank, tb.send_peer, tb.channel)]
+        if tb.recv_peer is not None:
+            in_conn = connections[(tb.recv_peer, rank, tb.channel)]
+        reduce_eff = machine.reduce_bandwidth / machine.threadblock_bandwidth
+
+        for tile in range(tiles):
+            for step, instr in enumerate(tb.instructions):
+                instr_start = loop.now
+                yield ("delay", cfg.instruction_overhead)
+
+                # Cross thread block dependencies (dep modifier).
+                for dep_tb, dep_step in instr.depends:
+                    dep_sem = semaphores[(rank, dep_tb)]
+                    target = tile * tb_lengths[(rank, dep_tb)] + dep_step + 1
+                    while dep_sem.value < target:
+                        yield ("wait", dep_sem.signal)
+
+                nbytes = self._instr_bytes(instr, chunk_bytes, tiles)
+                receives = instr.op in (
+                    Op.RECV, Op.RECV_REDUCE_COPY, Op.RECV_COPY_SEND,
+                    Op.RECV_REDUCE_COPY_SEND, Op.RECV_REDUCE_SEND,
+                )
+                sends = instr.op in (
+                    Op.SEND, Op.RECV_COPY_SEND, Op.RECV_REDUCE_COPY_SEND,
+                    Op.RECV_REDUCE_SEND,
+                )
+                reduces = instr.op in (
+                    Op.REDUCE, Op.RECV_REDUCE_COPY,
+                    Op.RECV_REDUCE_COPY_SEND, Op.RECV_REDUCE_SEND,
+                )
+
+                # All waits happen up front; the timing arithmetic below
+                # is then purely computational (cut-through streaming).
+                msg_last = None
+                recv_target = None
+                if receives:
+                    if in_conn is None:
+                        raise SimulationError(f"{instr.op} with no recv peer")
+                    recv_target = (
+                        tile * in_conn.sends_per_tile + instr.recv_seq
+                    )
+                    while recv_target not in in_conn.arrivals:
+                        yield ("wait", in_conn.arrival_signal)
+                    msg_last = in_conn.arrivals[recv_target]
+                if sends:
+                    if out_conn is None:
+                        raise SimulationError(f"{instr.op} with no send peer")
+                    send_seq = out_conn.issued
+                    # The message reuses slot (seq mod slots); it must
+                    # have been drained by the matching receive.
+                    while (send_seq >= out_conn.slots
+                           and (send_seq - out_conn.slots)
+                           not in out_conn.consumed):
+                        yield ("wait", out_conn.slot_signal)
+                    out_conn.issued += 1
+
+                start = loop.now
+                data_ready = start
+                if receives:
+                    # Consume: copy (and reduce) out of the FIFO slots as
+                    # they stream in. Direct-copy transports land data in
+                    # place, so only reductions cost receiver time.
+                    if self._direct and not reduces:
+                        data_ready = max(start, msg_last)
+                    else:
+                        eff = reduce_eff if reduces else 1.0
+                        finish = engine.reserve(start, nbytes, eff)
+                        data_ready = max(finish, msg_last)
+                    self._spawn_slot_free(loop, in_conn, recv_target,
+                                          data_ready)
+                elif instr.op in (Op.COPY, Op.REDUCE):
+                    eff = reduce_eff if reduces else 1.0
+                    data_ready = engine.reserve(start, nbytes, eff)
+
+                if sends:
+                    release = self._launch_transfer(
+                        loop, rank, tb.send_peer, nbytes, engine,
+                        out_conn, stream_start=start,
+                        data_ready=data_ready,
+                        fused=instr.op in FUSED_SEND_OPS,
+                        message_bytes=nbytes * tiles,
+                    )
+                    yield ("at", release)
+                else:
+                    yield ("at", data_ready)
+
+                if instr.has_dep:
+                    yield ("delay", cfg.semaphore_overhead)
+                my_sem.value = tile * n + step + 1
+                loop.notify(my_sem.signal)
+                if trace is not None:
+                    trace.append(TraceEntry(
+                        start_us=instr_start, end_us=loop.now, rank=rank,
+                        tb_id=tb.tb_id, tile=tile, step=step,
+                        op=instr.op.value,
+                    ))
+
+    def _spawn_slot_free(self, loop: EventLoop, conn: _Connection,
+                         seq: int, when: float) -> None:
+        """Free a FIFO slot once the receiver fully drained the message."""
+
+        def free():
+            yield ("at", when)
+            conn.consumed.add(seq)
+            conn.consumed_count += 1
+            loop.notify(conn.slot_signal)
+
+        loop.spawn(free())
+
+    def _launch_transfer(self, loop: EventLoop, src: int, dst: int,
+                         nbytes: float, engine: Resource, conn: _Connection,
+                         stream_start: float, data_ready: float,
+                         fused: bool, message_bytes: float = None) -> float:
+        """Start one message streaming; returns when the sender unblocks.
+
+        Transfers are cut-through: bytes flow through the path's shared
+        resources as the producing pass generates them, so a chain of
+        fused forwards adds only per-hop latency (alpha), not a full
+        store-and-forward payload time per hop — matching how NCCL and
+        the MSCCL interpreter stream FIFO slots.
+        """
+        proto = self.protocol
+        path, alpha_base, cross = self.topology.path(src, dst)
+        alpha = alpha_base + proto.alpha_overhead
+        # Fused sends feed the wire straight from the pass that produced
+        # the data; unfused sends pay an extra memory pass through the
+        # thread block's copy engine. A direct-copy send is exactly one
+        # such pass (straight into the peer's destination buffer) — its
+        # saving is on the receiver, which does nothing.
+        if fused:
+            produce_finish = data_ready
+        else:
+            produce_finish = engine.reserve(stream_start, nbytes)
+        wire_eff = proto.bandwidth_efficiency
+        wire_overhead = 0.0
+        if cross:
+            # Each InfiniBand message occupies its NICs for a fixed
+            # extra cost. Tiles of one instruction stream back to back
+            # on a single queue pair, so the per-message cost is spread
+            # over them (nbytes is one tile; message_bytes the whole
+            # instruction payload).
+            per_message = self.topology.machine.ib_message_overhead
+            basis = message_bytes if message_bytes else nbytes
+            wire_overhead = per_message * (nbytes / basis)
+        wire_finish = 0.0
+        for resource in path:
+            eff = wire_eff * self._degradation(resource.name)
+            wire_finish = max(
+                wire_finish,
+                resource.reserve(stream_start, nbytes, eff,
+                                 wire_overhead),
+            )
+        first_byte = stream_start + alpha
+        last_byte = max(wire_finish, produce_finish) + alpha
+        first_byte, last_byte = conn.clamp_fifo(first_byte, last_byte)
+        seq = conn.issued - 1  # our seq: issued was bumped by the caller
+
+        def deliver():
+            yield ("at", max(first_byte, loop.now))
+            conn.arrivals[seq] = last_byte
+            loop.notify(conn.arrival_signal)
+
+        loop.spawn(deliver())
+        # InfiniBand sends complete asynchronously through the proxy: the
+        # thread block only produces into the staging buffer. NVLink
+        # sends occupy the thread block until the last byte is stored on
+        # the peer.
+        if cross:
+            return max(produce_finish, data_ready)
+        return max(last_byte - alpha, data_ready)

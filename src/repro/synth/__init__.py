@@ -1,0 +1,24 @@
+"""Topology-aware algorithm synthesis.
+
+The paper positions MSCCLang as the *implementation* layer for the
+algorithm synthesizers it cites (SCCL, Blink): they decide routes, the
+DSL turns routes into runnable schedules. This package closes the loop
+with a small synthesizer of its own: given any topology with explicit
+link widths, it packs per-chunk spanning trees into an AllGather /
+Broadcast program, which then flows through the ordinary MSCCLang
+compiler, verifier, and simulator.
+"""
+
+from .trees import (
+    SynthesisResult,
+    broadcast_tree,
+    synthesize_allgather,
+    synthesize_broadcast,
+)
+
+__all__ = [
+    "SynthesisResult",
+    "broadcast_tree",
+    "synthesize_allgather",
+    "synthesize_broadcast",
+]

@@ -1,0 +1,162 @@
+"""Spanning-tree packing: synthesize collectives from a link graph.
+
+For each data source the synthesizer grows a broadcast tree over the
+topology's links, preferring wide links and spreading load so different
+sources' trees use different edges (the load-balancing idea behind
+Blink's tree packing). The trees become an MSCCLang program — every
+tree level is a wave of ``copy`` operations — which the ordinary
+compiler verifies and schedules. On switch-based machines any tree
+works; on the DGX-1 cube mesh the synthesizer routes around missing
+links and exploits double-width pairs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.collectives import AllGather, Broadcast
+from ..core.program import MSCCLProgram, chunk
+from ..topology.model import Topology
+
+# A tree as parent links: child rank -> parent rank (root maps to None).
+Tree = Dict[int, Optional[int]]
+
+
+def _edge_capacity(topology: Topology, a: int, b: int) -> float:
+    """Relative capacity of a link (uses explicit widths if available)."""
+    width = getattr(topology, "link_width", None)
+    if width is not None:
+        return float(width(a, b))
+    # Switch-based topologies: all pairs reachable at port bandwidth.
+    return 1.0
+
+
+def _neighbors(topology: Topology, rank: int) -> List[int]:
+    neighbors = getattr(topology, "neighbors", None)
+    if neighbors is not None:
+        return neighbors(rank)
+    return [r for r in range(topology.num_ranks) if r != rank]
+
+
+def broadcast_tree(topology: Topology, root: int,
+                   load: Dict[Tuple[int, int], float]) -> Tree:
+    """Grow one root's tree, penalizing already-loaded edges.
+
+    A Prim-style growth: repeatedly attach the unattached rank whose
+    connecting edge has the best (capacity / (1 + load)) score, which
+    spreads different roots' trees across the link set.
+    """
+    tree: Tree = {root: None}
+    frontier: List[Tuple[float, int, int, int]] = []
+    counter = 0
+
+    def push_edges(rank: int) -> None:
+        nonlocal counter
+        for neighbor in _neighbors(topology, rank):
+            if neighbor in tree:
+                continue
+            capacity = _edge_capacity(topology, rank, neighbor)
+            if capacity <= 0:
+                continue
+            penalty = load.get((rank, neighbor), 0.0)
+            score = -(capacity / (1.0 + penalty))
+            heapq.heappush(frontier, (score, counter, rank, neighbor))
+            counter += 1
+
+    push_edges(root)
+    while len(tree) < topology.num_ranks:
+        if not frontier:
+            raise ValueError(
+                f"topology is disconnected: cannot reach all ranks "
+                f"from {root}"
+            )
+        _score, _seq, parent, child = heapq.heappop(frontier)
+        if child in tree:
+            continue
+        tree[child] = parent
+        load[(parent, child)] = load.get((parent, child), 0.0) + 1.0
+        push_edges(child)
+    return tree
+
+
+def _tree_levels(tree: Tree) -> List[List[Tuple[int, int]]]:
+    """(parent, child) edges grouped by depth, shallow first."""
+    depth: Dict[int, int] = {}
+    for node, parent in tree.items():
+        if parent is None:
+            depth[node] = 0
+    changed = True
+    while changed:
+        changed = False
+        for node, parent in tree.items():
+            if node in depth or parent not in depth:
+                continue
+            depth[node] = depth[parent] + 1
+            changed = True
+    levels: List[List[Tuple[int, int]]] = []
+    for node, parent in tree.items():
+        if parent is None:
+            continue
+        level = depth[node] - 1
+        while len(levels) <= level:
+            levels.append([])
+        levels[level].append((parent, node))
+    return levels
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized program plus the trees that shaped it."""
+
+    program: MSCCLProgram
+    trees: Dict[int, Tree]
+    edge_load: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def max_edge_load(self) -> float:
+        return max(self.edge_load.values(), default=0.0)
+
+
+def synthesize_allgather(topology: Topology, *, instances: int = 1,
+                         protocol: str = "Simple",
+                         name: Optional[str] = None) -> SynthesisResult:
+    """Pack one broadcast tree per source rank into an AllGather."""
+    num_ranks = topology.num_ranks
+    collective = AllGather(num_ranks, chunk_factor=1, in_place=True)
+    label = name or f"synth_allgather_{num_ranks}_r{instances}"
+    load: Dict[Tuple[int, int], float] = {}
+    trees = {
+        root: broadcast_tree(topology, root, load)
+        for root in range(num_ranks)
+    }
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        for root, tree in trees.items():
+            for level in _tree_levels(tree):
+                for parent, child in level:
+                    chunk(parent, "out", root).copy(child, "out", root)
+    return SynthesisResult(program=program, trees=trees, edge_load=load)
+
+
+def synthesize_broadcast(topology: Topology, *, root: int = 0,
+                         chunk_factor: int = 1, instances: int = 1,
+                         protocol: str = "Simple",
+                         name: Optional[str] = None) -> SynthesisResult:
+    """A single topology-aware broadcast tree."""
+    collective = Broadcast(topology.num_ranks,
+                           chunk_factor=chunk_factor, root=root)
+    label = name or f"synth_broadcast_{topology.num_ranks}_r{instances}"
+    load: Dict[Tuple[int, int], float] = {}
+    tree = broadcast_tree(topology, root, load)
+    with MSCCLProgram(label, collective, protocol=protocol,
+                      instances=instances) as program:
+        for index in range(chunk_factor):
+            chunk(root, "in", index).copy(root, "out", index)
+            for level in _tree_levels(tree):
+                for parent, child in level:
+                    chunk(parent, "out", index).copy(
+                        child, "out", index
+                    )
+    return SynthesisResult(program=program, trees={root: tree},
+                           edge_load=load)

@@ -1,0 +1,8 @@
+"""Command-line tools: compile, inspect, and simulate algorithms.
+
+Run ``python -m repro.tools --help``.
+"""
+
+from .cli import build_algorithm, build_topology, main
+
+__all__ = ["build_algorithm", "build_topology", "main"]

@@ -1,0 +1,247 @@
+"""The ``python -m repro.tools`` command line.
+
+Subcommands:
+
+* ``compile``  — build a named algorithm and print its MSCCL-IR as XML,
+  JSON, a summary, or DOT graphs of the compiler stages.
+* ``simulate`` — compile and run one (algorithm, topology, size) point,
+  printing latency and algorithm bandwidth.
+* ``sweep``    — latency across a size grid, optionally against NCCL.
+
+Example::
+
+    python -m repro.tools compile ring_allreduce --ranks 8 \
+        --channels 4 --instances 8 --protocol LL --format xml
+    python -m repro.tools simulate hierarchical_allreduce \
+        --topology ndv4 --nodes 2 --size 64MB
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from ..analysis.sweep import format_size, size_grid
+from ..core.compiler import CompilerOptions, compile_program
+from ..core.visualize import describe_ir, ir_dot
+from ..nccl.selector import NcclModel
+from ..runtime.executor import IrExecutor
+from ..runtime.simulator import IrSimulator
+from ..topology import dgx1, dgx2, generic, ndv4
+from .. import algorithms
+
+TOPOLOGIES = {"ndv4": ndv4, "dgx2": dgx2, "dgx1": dgx1}
+
+# name -> (builder kwargs adapter); builders come from repro.algorithms.
+ALGORITHMS = {
+    "ring_allreduce": lambda a: algorithms.ring_allreduce(
+        a.ranks, channels=a.channels, instances=a.instances,
+        protocol=a.protocol),
+    "allpairs_allreduce": lambda a: algorithms.allpairs_allreduce(
+        a.ranks, instances=a.instances, protocol=a.protocol),
+    "hierarchical_allreduce": lambda a: algorithms.hierarchical_allreduce(
+        a.nodes, a.ranks // a.nodes, instances=a.instances,
+        protocol=a.protocol, intra_parallel=a.channels),
+    "rhd_allreduce": lambda a:
+        algorithms.recursive_halving_doubling_allreduce(
+            a.ranks, instances=a.instances, protocol=a.protocol),
+    "double_tree_allreduce": lambda a:
+        algorithms.double_binary_tree_allreduce(
+            a.ranks, instances=a.instances, protocol=a.protocol),
+    "twostep_alltoall": lambda a: algorithms.twostep_alltoall(
+        a.nodes, a.ranks // a.nodes, instances=a.instances,
+        protocol=a.protocol),
+    "hierarchical_alltoall": lambda a: algorithms.hierarchical_alltoall(
+        a.nodes, a.ranks // a.nodes, instances=a.instances,
+        protocol=a.protocol),
+    "naive_alltoall": lambda a: algorithms.naive_alltoall(
+        a.ranks, instances=a.instances, protocol=a.protocol,
+        gpus_per_node=a.ranks // a.nodes),
+    "alltonext": lambda a: algorithms.alltonext(
+        a.nodes, a.ranks // a.nodes, instances=a.instances,
+        protocol=a.protocol),
+    "ring_allgather": lambda a: algorithms.ring_allgather(
+        a.ranks, channels=a.channels, instances=a.instances,
+        protocol=a.protocol),
+    "rd_allgather": lambda a: algorithms.recursive_doubling_allgather(
+        a.ranks, instances=a.instances, protocol=a.protocol),
+    "ring_reducescatter": lambda a: algorithms.ring_reducescatter(
+        a.ranks, channels=a.channels, instances=a.instances,
+        protocol=a.protocol),
+    "sccl_allgather": lambda a: algorithms.sccl_allgather_122(
+        a.ranks, instances=a.instances, protocol=a.protocol),
+    "chain_broadcast": lambda a: algorithms.chain_broadcast(
+        a.ranks, instances=a.instances, protocol=a.protocol),
+    "tree_broadcast": lambda a: algorithms.tree_broadcast(
+        a.ranks, instances=a.instances, protocol=a.protocol),
+}
+
+
+def parse_size(text: str) -> int:
+    """'64MB' / '128KB' / '1GB' / plain bytes."""
+    units = {"KB": 1024, "MB": 1024 ** 2, "GB": 1024 ** 3, "B": 1}
+    upper = text.upper()
+    for suffix, factor in units.items():
+        if upper.endswith(suffix):
+            return int(float(upper[: -len(suffix)]) * factor)
+    return int(text)
+
+
+def build_topology(args):
+    """The cluster the command targets."""
+    if args.topology == "generic":
+        return generic(args.ranks // args.nodes, args.nodes)
+    topo = TOPOLOGIES[args.topology](args.nodes)
+    if args.ranks != topo.num_ranks:
+        raise SystemExit(
+            f"--ranks {args.ranks} does not match {args.topology} with "
+            f"{args.nodes} node(s) ({topo.num_ranks} GPUs)"
+        )
+    return topo
+
+
+def build_algorithm(args):
+    """Trace the requested program."""
+    try:
+        builder = ALGORITHMS[args.algorithm]
+    except KeyError:
+        raise SystemExit(
+            f"unknown algorithm {args.algorithm!r}; choose from "
+            f"{', '.join(sorted(ALGORITHMS))}"
+        )
+    return builder(args)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("algorithm", help="algorithm name")
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--channels", type=int, default=1)
+    parser.add_argument("--instances", type=int, default=1)
+    parser.add_argument("--protocol", default="Simple",
+                        choices=["Simple", "LL", "LL128"])
+    parser.add_argument("--topology", default="generic",
+                        choices=["generic", *TOPOLOGIES])
+
+
+def _compile(args) -> int:
+    topology = build_topology(args)
+    program = build_algorithm(args)
+    ir = compile_program(program, CompilerOptions(
+        max_threadblocks=topology.machine.sm_count
+    ))
+    if args.check:
+        IrExecutor(ir, program.collective).run_and_check()
+        print("# data check passed", file=sys.stderr)
+    if args.format == "xml":
+        print(ir.to_xml())
+    elif args.format == "json":
+        print(ir.to_json(indent=2))
+    elif args.format == "dot":
+        print(ir_dot(ir))
+    else:
+        print(describe_ir(ir))
+    return 0
+
+
+def _simulate(args) -> int:
+    topology = build_topology(args)
+    program = build_algorithm(args)
+    ir = compile_program(program, CompilerOptions(
+        max_threadblocks=topology.machine.sm_count
+    ))
+    size = parse_size(args.size)
+    chunks = program.collective.sizing_chunks()
+    result = IrSimulator(ir, topology).run(chunk_bytes=size / chunks)
+    print(f"{program.name} on {topology!r}")
+    print(f"  buffer: {format_size(size)}  latency: "
+          f"{result.time_us:.1f} us  algbw: "
+          f"{result.algbw_gbps(size):.1f} GB/s  tiles: {result.tiles}")
+    return 0
+
+
+def _report(args) -> int:
+    from pathlib import Path
+
+    from ..analysis.report import build_report
+
+    if args.results is not None:
+        results_dir = Path(args.results)
+    else:
+        results_dir = (
+            Path(__file__).resolve().parents[3]
+            / "benchmarks" / "results"
+        )
+    print(build_report(results_dir, include_audit=not args.no_audit))
+    return 0
+
+
+def _sweep(args) -> int:
+    topology = build_topology(args)
+    program = build_algorithm(args)
+    ir = compile_program(program, CompilerOptions(
+        max_threadblocks=topology.machine.sm_count
+    ))
+    chunks = program.collective.sizing_chunks()
+    simulator = IrSimulator(ir, topology)
+    nccl = NcclModel(topology) if args.vs_nccl else None
+    header = f"{'size':>8s} {'us':>12s}"
+    if nccl:
+        header += f" {'nccl us':>12s} {'speedup':>8s}"
+    print(header)
+    for size in size_grid(parse_size(args.min_size),
+                          parse_size(args.max_size)):
+        elapsed = simulator.run(chunk_bytes=size / chunks).time_us
+        row = f"{format_size(size):>8s} {elapsed:>12.1f}"
+        if nccl:
+            base = nccl.allreduce_time(size).time_us
+            row += f" {base:>12.1f} {base / elapsed:>7.2f}x"
+        print(row)
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="Compile, inspect, and simulate MSCCLang algorithms.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser("compile", help="emit MSCCL-IR")
+    _add_common(compile_parser)
+    compile_parser.add_argument(
+        "--format", default="summary",
+        choices=["summary", "xml", "json", "dot"],
+    )
+    compile_parser.add_argument(
+        "--check", action="store_true",
+        help="also execute on data and verify outputs",
+    )
+    compile_parser.set_defaults(func=_compile)
+
+    sim_parser = sub.add_parser("simulate", help="time one buffer size")
+    _add_common(sim_parser)
+    sim_parser.add_argument("--size", default="1MB")
+    sim_parser.set_defaults(func=_simulate)
+
+    report_parser = sub.add_parser(
+        "report", help="assemble the evaluation report from results/"
+    )
+    report_parser.add_argument(
+        "--results", default=None,
+        help="results directory (default: benchmarks/results)",
+    )
+    report_parser.add_argument("--no-audit", action="store_true")
+    report_parser.set_defaults(func=_report)
+
+    sweep_parser = sub.add_parser("sweep", help="time a size grid")
+    _add_common(sweep_parser)
+    sweep_parser.add_argument("--min-size", default="1KB")
+    sweep_parser.add_argument("--max-size", default="64MB")
+    sweep_parser.add_argument("--vs-nccl", action="store_true",
+                              help="compare against the NCCL AllReduce")
+    sweep_parser.set_defaults(func=_sweep)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,129 @@
+"""DGX-1 hybrid cube-mesh topology with point-to-point NVLinks.
+
+Unlike NVSwitch systems, the DGX-1's 8 V100s connect pairwise: each GPU
+has 6 NVLink ports wired into a "hybrid cube mesh" — two quads with
+double links inside (ring + one diagonal per GPU) and single links
+across. A transfer between directly connected GPUs gets 1x or 2x link
+bandwidth; GPUs without a direct link (e.g. 0 and 5) have no NVLink
+path and must relay (the SCCL paper's synthesized algorithms respect
+exactly this constraint).
+
+``Dgx1MeshTopology.path`` prices transfers per physical link rather
+than per-GPU aggregate port, so algorithms that route over the double
+links (like the (1,2,2) AllGather's xor-partner steps) are rewarded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..core.errors import RuntimeConfigError
+from .model import MachineSpec, Resource, Topology
+from .presets import DGX1_V100
+
+# NVLink wiring of a DGX-1V: pair -> number of NVLink2 bricks.
+# Two quads {0,1,2,3} and {4,5,6,7}; inside a quad, the ring edges are
+# doubled on two sides; one single diagonal; cross-quad single links
+# pair each GPU with its counterpart and one neighbor.
+DGX1_LINKS: Dict[FrozenSet, int] = {
+    frozenset(pair): width for pair, width in {
+        # quad 0 (ring 0-1-3-2 plus diagonals)
+        (0, 1): 1, (0, 2): 1, (0, 3): 2, (1, 2): 2, (1, 3): 1,
+        (2, 3): 2,
+        # quad 1
+        (4, 5): 1, (4, 6): 1, (4, 7): 2, (5, 6): 2, (5, 7): 1,
+        (6, 7): 2,
+        # cross-quad links (two pairs doubled so every GPU uses all 6
+        # of its NVLink bricks)
+        (0, 4): 2, (1, 5): 2, (2, 6): 1, (3, 7): 1,
+    }.items()
+}
+
+NVLINK2_BRICK_GBPS = 25.0  # one NVLink2 brick, per direction
+
+
+class Dgx1MeshTopology(Topology):
+    """A single DGX-1 node with explicit pairwise NVLink wiring."""
+
+    def __init__(self, machine: MachineSpec = DGX1_V100):
+        if machine.gpus_per_node != 8:
+            raise RuntimeConfigError("the cube mesh is an 8-GPU wiring")
+        super().__init__(machine, num_nodes=1)
+
+    def link_width(self, a: int, b: int) -> int:
+        """Number of NVLink bricks between two GPUs (0 = no direct link)."""
+        self._check_rank(a)
+        self._check_rank(b)
+        if a == b:
+            return 0
+        return DGX1_LINKS.get(frozenset((a, b)), 0)
+
+    def neighbors(self, rank: int) -> List[int]:
+        """GPUs directly reachable over NVLink."""
+        return sorted(
+            other for other in range(self.num_ranks)
+            if self.link_width(rank, other) > 0
+        )
+
+    def _pair_resource(self, a: int, b: int, width: int) -> Resource:
+        lo, hi = min(a, b), max(a, b)
+        return self.resource(
+            f"nvlink_pair[{lo},{hi},{a}->{b}]",
+            width * NVLINK2_BRICK_GBPS,
+        )
+
+    def path(self, src: int, dst: int):
+        """Direct pairs use their dedicated link; others relay via the
+        best common neighbor (two hops, modeled as the bottleneck)."""
+        if src == dst:
+            return ([], 0.0, False)
+        width = self.link_width(src, dst)
+        if width > 0:
+            return ([self._pair_resource(src, dst, width)],
+                    self.machine.nvlink_alpha, False)
+        relay = self.best_relay(src, dst)
+        first = self._pair_resource(src, relay,
+                                    self.link_width(src, relay))
+        second = self._pair_resource(relay, dst,
+                                     self.link_width(relay, dst))
+        return ([first, second], 2 * self.machine.nvlink_alpha, False)
+
+    def best_relay(self, src: int, dst: int) -> int:
+        """Widest-bottleneck intermediate GPU for an unlinked pair."""
+        best, best_width = None, -1
+        for relay in range(self.num_ranks):
+            if relay in (src, dst):
+                continue
+            width = min(self.link_width(src, relay),
+                        self.link_width(relay, dst))
+            if width > best_width:
+                best, best_width = relay, width
+        if best is None or best_width == 0:
+            raise RuntimeConfigError(
+                f"no NVLink route between GPUs {src} and {dst}"
+            )
+        return best
+
+    def link_bandwidth(self, src: int, dst: int) -> float:
+        if src == dst:
+            return float("inf")
+        width = self.link_width(src, dst)
+        if width > 0:
+            return width * NVLINK2_BRICK_GBPS
+        relay = self.best_relay(src, dst)
+        return min(self.link_bandwidth(src, relay),
+                   self.link_bandwidth(relay, dst))
+
+    def link_alpha(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        hops = 1 if self.link_width(src, dst) else 2
+        return hops * self.machine.nvlink_alpha
+
+    def __repr__(self) -> str:
+        return "Dgx1MeshTopology(8xV100 hybrid cube mesh)"
+
+
+def dgx1_mesh() -> Dgx1MeshTopology:
+    """A single DGX-1 with explicit cube-mesh NVLink wiring."""
+    return Dgx1MeshTopology()

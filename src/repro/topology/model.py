@@ -1,0 +1,199 @@
+"""Cluster topology model: machines, links, and transfer paths.
+
+The simulator prices a point-to-point transfer by routing it through a
+path of *bandwidth resources* (NVLink ports, InfiniBand NICs) plus the
+sending thread block's own copy engine, and adding a per-hop latency
+(the alpha of the alpha-beta model). Resources are shared FCFS servers,
+so contention between concurrent transfers emerges naturally:
+
+* one thread block alone is capped by its copy-engine bandwidth (the
+  paper's observation that a single A100 thread block cannot saturate an
+  NVLink),
+* many thread blocks sharing one NVLink or NIC saturate the link and
+  divide its bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.errors import RuntimeConfigError
+
+GB = 1e9  # bytes
+# Internally bandwidth is bytes/microsecond: 1 GB/s = 1e3 bytes/us.
+_GBPS_TO_BYTES_PER_US = 1e3
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Per-node hardware parameters.
+
+    Bandwidths are GB/s; latencies are microseconds. ``gpus_per_nic``
+    says how many GPUs share each InfiniBand NIC (1 on NDv4 where each
+    GPU effectively owns a 25 GB/s NIC, 2 on DGX-2 where a GPU pair
+    shares one).
+    """
+
+    name: str
+    gpus_per_node: int
+    sm_count: int
+    nvlink_bandwidth: float  # per-GPU egress/ingress, GB/s
+    nvlink_alpha: float  # us, intra-node hop latency
+    ib_bandwidth: float  # per NIC, GB/s
+    ib_alpha: float  # us, cross-node hop latency
+    gpus_per_nic: int
+    # Per-message InfiniBand cost: each message occupies its NICs for
+    # this many extra microseconds on top of the pure byte time, modeling
+    # per-message driver/QP overheads and fabric effects that make
+    # aggregation (the Two-Step AllToAll's whole point) profitable.
+    ib_message_overhead: float
+    threadblock_bandwidth: float  # single thread block copy rate, GB/s
+    reduce_bandwidth: float  # single thread block reduce rate, GB/s
+    kernel_launch_overhead: float  # us, per kernel launch
+
+    @property
+    def nics_per_node(self) -> int:
+        return self.gpus_per_node // self.gpus_per_nic
+
+
+class Resource:
+    """A FCFS bandwidth server (an NVLink port, a NIC, a copy engine)."""
+
+    __slots__ = ("name", "bandwidth", "next_free", "busy_time")
+
+    def __init__(self, name: str, bandwidth_gbps: float):
+        if bandwidth_gbps <= 0:
+            raise RuntimeConfigError(
+                f"resource {name!r} needs positive bandwidth"
+            )
+        self.name = name
+        self.bandwidth = bandwidth_gbps * _GBPS_TO_BYTES_PER_US
+        self.next_free = 0.0
+        self.busy_time = 0.0
+
+    def reserve(self, now: float, nbytes: float,
+                efficiency: float = 1.0,
+                overhead: float = 0.0) -> float:
+        """Reserve capacity for a transfer arriving at ``now``.
+
+        Returns the finish time; the resource serves requests in arrival
+        order at ``bandwidth * efficiency``, each costing an extra
+        ``overhead`` microseconds of occupancy (per-message cost).
+        """
+        start = max(now, self.next_free)
+        duration = nbytes / (self.bandwidth * efficiency) + overhead
+        self.next_free = start + duration
+        self.busy_time += duration
+        return self.next_free
+
+    def reset(self) -> None:
+        self.next_free = 0.0
+        self.busy_time = 0.0
+
+
+class Topology:
+    """A cluster of ``num_nodes`` identical machines."""
+
+    def __init__(self, machine: MachineSpec, num_nodes: int):
+        if num_nodes < 1:
+            raise RuntimeConfigError("need at least one node")
+        self.machine = machine
+        self.num_nodes = num_nodes
+        self._resources = {}
+
+    @property
+    def num_ranks(self) -> int:
+        return self.num_nodes * self.machine.gpus_per_node
+
+    def node_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.machine.gpus_per_node
+
+    def local_index(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank % self.machine.gpus_per_node
+
+    def rank_of(self, node: int, gpu: int) -> int:
+        rank = node * self.machine.gpus_per_node + gpu
+        self._check_rank(rank)
+        return rank
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise RuntimeConfigError(
+                f"rank {rank} out of range for {self.num_ranks} ranks"
+            )
+
+    # -- resources ---------------------------------------------------------
+    def resource(self, name: str, bandwidth_gbps: float) -> Resource:
+        """Get or create the named shared resource."""
+        res = self._resources.get(name)
+        if res is None:
+            res = Resource(name, bandwidth_gbps)
+            self._resources[name] = res
+        return res
+
+    def nvlink_out(self, rank: int) -> Resource:
+        return self.resource(
+            f"nvlink_out[{rank}]", self.machine.nvlink_bandwidth
+        )
+
+    def nvlink_in(self, rank: int) -> Resource:
+        return self.resource(
+            f"nvlink_in[{rank}]", self.machine.nvlink_bandwidth
+        )
+
+    def nic_out(self, rank: int) -> Resource:
+        node = self.node_of(rank)
+        nic_index = self.local_index(rank) // self.machine.gpus_per_nic
+        return self.resource(
+            f"nic_out[{node},{nic_index}]", self.machine.ib_bandwidth
+        )
+
+    def nic_in(self, rank: int) -> Resource:
+        node = self.node_of(rank)
+        nic_index = self.local_index(rank) // self.machine.gpus_per_nic
+        return self.resource(
+            f"nic_in[{node},{nic_index}]", self.machine.ib_bandwidth
+        )
+
+    def reset_resources(self) -> None:
+        for res in self._resources.values():
+            res.reset()
+
+    # -- transfer routing -----------------------------------------------------
+    def path(self, src: int, dst: int) -> Tuple[List[Resource], float, bool]:
+        """(shared resources, alpha in us, crosses_node) for src -> dst."""
+        if src == dst:
+            return ([], 0.0, False)
+        if self.same_node(src, dst):
+            resources = [self.nvlink_out(src), self.nvlink_in(dst)]
+            return (resources, self.machine.nvlink_alpha, False)
+        resources = [self.nic_out(src), self.nic_in(dst)]
+        return (resources, self.machine.ib_alpha, True)
+
+    def link_bandwidth(self, src: int, dst: int) -> float:
+        """Bottleneck bandwidth (GB/s) of the src -> dst path."""
+        if src == dst:
+            return float("inf")
+        if self.same_node(src, dst):
+            return self.machine.nvlink_bandwidth
+        return self.machine.ib_bandwidth
+
+    def link_alpha(self, src: int, dst: int) -> float:
+        """Base latency (us) of the src -> dst path."""
+        if src == dst:
+            return 0.0
+        if self.same_node(src, dst):
+            return self.machine.nvlink_alpha
+        return self.machine.ib_alpha
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.machine.name}, nodes={self.num_nodes}, "
+            f"ranks={self.num_ranks})"
+        )

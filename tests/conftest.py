@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AllReduce,
+    CompilerOptions,
+    MSCCLProgram,
+    chunk,
+    compile_program,
+)
+
+
+def build_ring_allreduce(num_ranks: int, *, instances: int = 1,
+                         protocol: str = "Simple",
+                         channels: int = 1) -> MSCCLProgram:
+    """A minimal in-place Ring AllReduce used across many tests."""
+    collective = AllReduce(num_ranks, chunk_factor=num_ranks, in_place=True)
+    with MSCCLProgram("test_ring", collective, protocol=protocol,
+                      instances=instances) as program:
+        for index in range(num_ranks):
+            ch = index % channels
+            c = chunk((index + 1) % num_ranks, "in", index)
+            for step in range(1, num_ranks):
+                nxt = (index + 1 + step) % num_ranks
+                c = chunk(nxt, "in", index).reduce(c, ch=ch)
+            for step in range(num_ranks - 1):
+                nxt = (index + 1 + step) % num_ranks
+                c = c.copy(nxt, "in", index, ch=ch)
+    return program
+
+
+@pytest.fixture
+def ring4():
+    """A traced 4-rank ring AllReduce program."""
+    return build_ring_allreduce(4)
+
+
+@pytest.fixture
+def ring4_ir(ring4):
+    """The compiled IR of the 4-rank ring."""
+    return compile_program(ring4, CompilerOptions())

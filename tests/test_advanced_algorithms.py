@@ -1,0 +1,168 @@
+"""Tests for the recursive, double-tree, and hierarchical-AllToAll
+algorithms."""
+
+import pytest
+
+from repro.algorithms import (
+    double_binary_tree_allreduce,
+    hierarchical_alltoall,
+    naive_alltoall,
+    recursive_doubling_allgather,
+    recursive_halving_doubling_allreduce,
+    ring_allreduce,
+    tree_structure,
+    twostep_alltoall,
+)
+from repro.core import CompilerOptions, Op, ProgramError, compile_program
+from repro.runtime import IrExecutor, IrSimulator
+from repro.topology import generic, ndv4
+
+MiB = 1024 * 1024
+
+
+class TestRecursiveHalvingDoubling:
+    @pytest.mark.parametrize("ranks", [2, 4, 8, 16])
+    def test_correct_at_powers_of_two(self, ranks):
+        program = recursive_halving_doubling_allreduce(ranks)
+        ir = compile_program(program, CompilerOptions())
+        IrExecutor(ir, program.collective).run_and_check()
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ProgramError):
+            recursive_halving_doubling_allreduce(6)
+
+    def test_log_step_count(self):
+        """Each rank sends in 2*log2(R) communication rounds: far fewer
+        sends per rank than Ring's 2(R-1)."""
+        ranks = 8
+        rhd = compile_program(
+            recursive_halving_doubling_allreduce(ranks)
+        )
+        ring = compile_program(ring_allreduce(ranks))
+
+        def max_sends(ir):
+            send_ops = (Op.SEND, Op.RECV_COPY_SEND,
+                        Op.RECV_REDUCE_COPY_SEND, Op.RECV_REDUCE_SEND)
+            return max(
+                sum(1 for tb in gpu.threadblocks
+                    for i in tb.instructions if i.op in send_ops)
+                for gpu in ir.gpus
+            )
+
+        assert max_sends(rhd) == 6   # 2 * log2(8)
+        assert max_sends(ring) == 14  # 2 * (8 - 1)
+
+    def test_faster_than_ring_at_latency_bound_sizes(self):
+        topology = ndv4(1)
+        rhd = compile_program(recursive_halving_doubling_allreduce(8))
+        ring = compile_program(ring_allreduce(8))
+        rhd_time = IrSimulator(rhd, topology).run(chunk_bytes=512).time_us
+        ring_time = IrSimulator(ring, ndv4(1)).run(
+            chunk_bytes=512).time_us
+        assert rhd_time < ring_time
+
+
+class TestRecursiveDoublingAllgather:
+    @pytest.mark.parametrize("ranks", [2, 4, 8, 16])
+    def test_correct(self, ranks):
+        program = recursive_doubling_allgather(ranks)
+        ir = compile_program(program, CompilerOptions())
+        IrExecutor(ir, program.collective).run_and_check()
+
+    def test_log_rounds(self):
+        program = recursive_doubling_allgather(8)
+        ir = compile_program(program)
+        # Each rank exchanges with log2(8)=3 partners.
+        peers = {
+            (gpu.rank, tb.send_peer)
+            for gpu in ir.gpus for tb in gpu.threadblocks
+            if tb.send_peer is not None
+        }
+        for rank in range(8):
+            assert len([p for r, p in peers if r == rank]) == 3
+
+
+class TestDoubleBinaryTree:
+    @pytest.mark.parametrize("ranks", [2, 3, 7, 8, 12])
+    def test_correct(self, ranks):
+        program = double_binary_tree_allreduce(ranks)
+        ir = compile_program(program, CompilerOptions())
+        IrExecutor(ir, program.collective).run_and_check()
+
+    def test_two_channels(self):
+        ir = compile_program(double_binary_tree_allreduce(8))
+        assert ir.channels_used() == 2
+
+    def test_odd_chunk_factor_rejected(self):
+        with pytest.raises(ValueError):
+            double_binary_tree_allreduce(8, chunk_factor=3)
+
+    def test_trees_are_complementary(self):
+        """The point of the second tree: ranks that are leaves in one
+        tree do interior work in the other (except at tiny scale)."""
+        roles = tree_structure(8)
+        leaf_in_both = [
+            rank for rank, tree_roles in roles.items()
+            if not tree_roles["tree0"] and not tree_roles["tree1"]
+        ]
+        assert len(leaf_in_both) <= 1
+
+    def test_beats_single_tree_at_bandwidth_sizes(self):
+        from repro.nccl import nccl_tree_allreduce
+
+        topology = ndv4(1)
+        double = compile_program(
+            double_binary_tree_allreduce(8, chunk_factor=2)
+        )
+        single = compile_program(nccl_tree_allreduce(8, instances=1))
+        chunk_bytes = 8 * MiB
+        double_time = IrSimulator(double, topology).run(
+            chunk_bytes=chunk_bytes).time_us
+        single_time = IrSimulator(single, ndv4(1)).run(
+            chunk_bytes=chunk_bytes * 2).time_us  # same total buffer
+        assert double_time < single_time
+
+
+class TestHierarchicalAllToAll:
+    @pytest.mark.parametrize("nodes,gpus", [(2, 2), (2, 4), (3, 3)])
+    def test_correct(self, nodes, gpus):
+        program = hierarchical_alltoall(nodes, gpus)
+        ir = compile_program(program, CompilerOptions())
+        IrExecutor(ir, program.collective).run_and_check()
+
+    def test_fewest_cross_node_messages(self):
+        """3-step < 2-step < naive in cross-node message count."""
+        nodes, gpus = 2, 4
+
+        def cross_sends(ir):
+            total = 0
+            for gpu in ir.gpus:
+                for tb in gpu.threadblocks:
+                    if tb.send_peer is None:
+                        continue
+                    if gpu.rank // gpus == tb.send_peer // gpus:
+                        continue
+                    total += sum(
+                        1 for i in tb.instructions
+                        if i.op in (Op.SEND, Op.RECV_COPY_SEND,
+                                    Op.RECV_REDUCE_COPY_SEND)
+                    )
+            return total
+
+        three = cross_sends(compile_program(
+            hierarchical_alltoall(nodes, gpus)))
+        two = cross_sends(compile_program(
+            twostep_alltoall(nodes, gpus)))
+        naive = cross_sends(compile_program(
+            naive_alltoall(nodes * gpus, gpus_per_node=gpus)))
+        assert three < two < naive
+
+    def test_rail_transfers_are_aggregated(self):
+        program = hierarchical_alltoall(2, 4)
+        ir = compile_program(program)
+        counts = {
+            instr.count
+            for gpu in ir.gpus for tb in gpu.threadblocks
+            for instr in tb.instructions
+        }
+        assert 16 in counts  # G*G chunks in one rail message

@@ -1,0 +1,262 @@
+"""Integration tests: every algorithm compiles, audits, executes
+correctly, and exhibits the structure the paper describes."""
+
+import pytest
+
+from repro.algorithms import (
+    allpairs_allreduce,
+    alltonext,
+    hierarchical_allreduce,
+    naive_alltoall,
+    naive_alltonext,
+    ring_allgather,
+    ring_allreduce,
+    ring_reducescatter,
+    sccl_allgather_122,
+    twostep_alltoall,
+)
+from repro.core import CompilerOptions, Op, compile_program
+from repro.runtime import IrExecutor, IrSimulator
+from repro.topology import dgx1, generic, ndv4
+
+ALL_ALGORITHMS = [
+    pytest.param(lambda: ring_allreduce(8), id="ring_allreduce"),
+    pytest.param(lambda: ring_allreduce(8, channels=4, instances=2,
+                                        protocol="LL"),
+                 id="ring_allreduce_ch4_r2"),
+    pytest.param(lambda: ring_allreduce(6, chunks_per_rank=12),
+                 id="ring_allreduce_multichunk"),
+    pytest.param(lambda: allpairs_allreduce(8), id="allpairs"),
+    pytest.param(lambda: allpairs_allreduce(4, instances=2),
+                 id="allpairs_r2"),
+    pytest.param(lambda: hierarchical_allreduce(2, 4),
+                 id="hierarchical_2x4"),
+    pytest.param(lambda: hierarchical_allreduce(2, 4, intra_parallel=2),
+                 id="hierarchical_parallelized"),
+    pytest.param(lambda: hierarchical_allreduce(3, 2, instances=2),
+                 id="hierarchical_3x2_r2"),
+    pytest.param(lambda: twostep_alltoall(2, 4), id="twostep_2x4"),
+    pytest.param(lambda: twostep_alltoall(3, 3), id="twostep_3x3"),
+    pytest.param(lambda: naive_alltoall(8), id="naive_alltoall"),
+    pytest.param(lambda: alltonext(2, 4), id="alltonext_2x4"),
+    pytest.param(lambda: alltonext(3, 4, instances=2),
+                 id="alltonext_3x4_r2"),
+    pytest.param(lambda: naive_alltonext(2, 4), id="naive_alltonext"),
+    pytest.param(lambda: ring_allgather(8, channels=2), id="allgather"),
+    pytest.param(lambda: ring_reducescatter(8, channels=2),
+                 id="reducescatter"),
+    pytest.param(lambda: sccl_allgather_122(8), id="sccl_122"),
+    pytest.param(lambda: sccl_allgather_122(4), id="sccl_122_small"),
+]
+
+
+@pytest.mark.parametrize("builder", ALL_ALGORITHMS)
+def test_compiles_and_computes_correctly(builder):
+    """The gold gauntlet: verify the trace, audit the IR for deadlocks,
+    execute real data, check every output element."""
+    program = builder()
+    ir = compile_program(program, CompilerOptions())
+    IrExecutor(ir, program.collective).run_and_check()
+
+
+@pytest.mark.parametrize("builder", ALL_ALGORITHMS)
+def test_simulates_to_completion(builder):
+    program = builder()
+    ir = compile_program(program, CompilerOptions())
+    ranks = program.num_ranks
+    topo = generic(ranks // 2, 2) if ranks % 2 == 0 else generic(ranks, 1)
+    result = IrSimulator(ir, topo).run(chunk_bytes=32 * 1024)
+    assert result.time_us > 0
+
+
+class TestRingStructure:
+    def test_ring_line_count_is_paper_small(self):
+        """The paper: all programs need < 30 lines. Our ring body is a
+        handful of statements; check instruction shape instead: each
+        GPU executes 2R-1 fused steps per logical ring."""
+        program = ring_allreduce(8)
+        ir = compile_program(program)
+        for gpu in ir.gpus:
+            assert sum(len(tb.instructions)
+                       for tb in gpu.threadblocks) == 15
+
+    def test_channels_stripe_chunks(self):
+        program = ring_allreduce(8, channels=4)
+        ir = compile_program(program)
+        assert ir.channels_used() == 4
+
+    def test_chunks_per_rank_must_divide(self):
+        with pytest.raises(ValueError):
+            ring_allreduce(4, chunks_per_rank=6)
+
+
+class TestAllPairsStructure:
+    def test_two_communication_steps(self):
+        """All Pairs does gather + broadcast: every chunk crosses the
+        wire exactly twice, so 2*R*(R-1) point-to-point messages."""
+        program = allpairs_allreduce(4)
+        ir = compile_program(program)
+        hist = ir.op_histogram()
+        sends = sum(hist.get(op.value, 0) for op in
+                    (Op.SEND, Op.RECV_COPY_SEND,
+                     Op.RECV_REDUCE_COPY_SEND, Op.RECV_REDUCE_SEND))
+        assert sends == 2 * 4 * 3
+
+    def test_local_reductions_present(self):
+        program = allpairs_allreduce(4)
+        ir = compile_program(program)
+        assert ir.op_histogram().get(Op.REDUCE.value, 0) == 4 * 3
+
+
+class TestHierarchicalStructure:
+    def test_three_channel_plan(self):
+        """Paper section 5.1: intra-RS on ch0, inter phases on ch1,
+        intra-AG on ch2."""
+        program = hierarchical_allreduce(2, 4)
+        ir = compile_program(program)
+        assert ir.channels_used() == 3
+
+    def test_parallelize_adds_channels(self):
+        program = hierarchical_allreduce(2, 4, intra_parallel=2)
+        ir = compile_program(program)
+        assert ir.channels_used() > 3
+
+    def test_aggregated_intra_sends(self):
+        """Intra-node phases move N chunks per send (aggregation)."""
+        program = hierarchical_allreduce(2, 4)
+        ir = compile_program(program)
+        counts = {
+            instr.count
+            for gpu in ir.gpus
+            for tb in gpu.threadblocks
+            for instr in tb.instructions
+        }
+        assert 2 in counts  # N = 2 aggregated chunks
+
+    def test_cross_node_traffic_only_between_peers(self):
+        program = hierarchical_allreduce(2, 4)
+        ir = compile_program(program)
+        for src, dst, _ in ir.connections():
+            same_node = (src // 4) == (dst // 4)
+            if not same_node:
+                assert src % 4 == dst % 4, (
+                    "inter-node traffic must stay within a GPU-index group"
+                )
+
+
+class TestTwoStepStructure:
+    def test_aggregated_ib_sends(self):
+        """Step 2 sends G chunks per message."""
+        program = twostep_alltoall(2, 4)
+        ir = compile_program(program)
+        counts = [
+            instr.count
+            for gpu in ir.gpus
+            for tb in gpu.threadblocks
+            for instr in tb.instructions
+            if instr.count > 1
+        ]
+        assert counts and set(counts) == {4}
+
+    def test_fewer_cross_node_messages_than_naive(self):
+        topo_nodes, g = 2, 4
+
+        def cross_messages(ir):
+            total = 0
+            for gpu in ir.gpus:
+                for tb in gpu.threadblocks:
+                    if tb.send_peer is None:
+                        continue
+                    if gpu.rank // g == tb.send_peer // g:
+                        continue
+                    total += sum(
+                        1 for i in tb.instructions
+                        if i.op in (Op.SEND, Op.RECV_COPY_SEND,
+                                    Op.RECV_REDUCE_COPY_SEND)
+                    )
+            return total
+
+        twostep = compile_program(twostep_alltoall(topo_nodes, g))
+        naive = compile_program(naive_alltoall(
+            topo_nodes * g, gpus_per_node=g
+        ))
+        assert cross_messages(twostep) < cross_messages(naive)
+
+
+class TestAllToNextStructure:
+    def test_uses_every_nic(self):
+        """The whole point: a boundary crossing engages all NICs."""
+        program = alltonext(2, 4)
+        ir = compile_program(program)
+        topo = generic(4, 2)
+        sim = IrSimulator(ir, topo)
+        result = sim.run(chunk_bytes=1024 * 1024)
+        busy_nics = [
+            name for name, busy in result.resource_busy_us.items()
+            if name.startswith("nic_out") and busy > 0
+        ]
+        assert len(busy_nics) == 4  # all of node 0's NICs
+
+    def test_naive_uses_one_nic(self):
+        program = naive_alltonext(2, 4)
+        ir = compile_program(program)
+        topo = generic(4, 2)
+        result = IrSimulator(ir, topo).run(chunk_bytes=1024 * 1024)
+        busy_nics = [
+            name for name, busy in result.resource_busy_us.items()
+            if name.startswith("nic_out") and busy > 0
+        ]
+        assert len(busy_nics) == 1
+
+    def test_beats_naive_at_large_sizes(self):
+        optimized = compile_program(alltonext(2, 4, instances=2))
+        baseline = compile_program(naive_alltonext(2, 4))
+        topo = generic(4, 2)
+        chunk_bytes = 16 * 1024 * 1024
+        fast = IrSimulator(optimized, topo).run(chunk_bytes).time_us
+        topo2 = generic(4, 2)
+        slow = IrSimulator(baseline, topo2).run(chunk_bytes).time_us
+        assert fast < slow
+
+
+class TestScclStructure:
+    def test_two_step_depth(self):
+        """(1,2,2): every chunk reaches every rank within two hops."""
+        program = sccl_allgather_122(8)
+        ir = compile_program(program)
+        for gpu in ir.gpus:
+            for tb in gpu.threadblocks:
+                assert len(tb.instructions) <= 4
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            sccl_allgather_122(6)
+        with pytest.raises(ValueError):
+            sccl_allgather_122(2)
+
+
+class TestOutOfPlace:
+    def test_out_of_place_ring_preserves_inputs(self):
+        import numpy as np
+
+        from repro.runtime import IrExecutor
+
+        program = ring_allreduce(4, in_place=False)
+        ir = compile_program(program, CompilerOptions())
+        executor = IrExecutor(ir, program.collective)
+        executor.run_and_check()
+        from repro.core import Buffer
+
+        for rank in range(4):
+            np.testing.assert_array_equal(
+                executor.buffers[(rank, Buffer.INPUT)],
+                executor.initial_inputs[rank],
+            )
+
+    def test_out_of_place_with_channels_and_instances(self):
+        from repro.runtime import IrExecutor
+
+        program = ring_allreduce(4, channels=2, instances=2,
+                                 in_place=False)
+        ir = compile_program(program, CompilerOptions())
+        IrExecutor(ir, program.collective).run_and_check()

@@ -1,0 +1,101 @@
+"""Tests for the schedule autotuner and registry building."""
+
+import pytest
+
+from repro.algorithms import ring_allreduce
+from repro.analysis import (
+    Candidate,
+    build_registry,
+    default_space,
+    tune,
+)
+from repro.topology import ndv4
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def ring_builder(channels, instances, protocol):
+    return ring_allreduce(8, channels=channels, instances=instances,
+                          protocol=protocol)
+
+
+@pytest.fixture(scope="module")
+def result():
+    space = [
+        Candidate(1, 2, "LL"),
+        Candidate(4, 8, "LL"),
+        Candidate(1, 24, "Simple"),
+    ]
+    sizes = [32 * KiB, 1 * MiB, 64 * MiB]
+    return tune(ring_builder, ndv4(1), sizes,
+                collective_sizing_chunks=8, space=space)
+
+
+class TestTune:
+    def test_all_candidates_timed_on_all_sizes(self, result):
+        assert len(result.times) == 3 * 3
+
+    def test_winner_is_actually_fastest(self, result):
+        for size in result.sizes:
+            winner_time = result.best_time(size)
+            for candidate in result.candidates:
+                assert winner_time <= result.times[(candidate, size)]
+
+    def test_protocol_winners_follow_size(self, result):
+        """LL configs win small, the wide Simple config wins large."""
+        assert result.best[32 * KiB].protocol == "LL"
+        assert result.best[64 * MiB].protocol == "Simple"
+
+    def test_table_renders(self, result):
+        table = result.table()
+        assert "best config" in table
+        for size in result.sizes:
+            assert str(size) in table
+
+    def test_infeasible_candidates_skipped(self):
+        space = [
+            Candidate(1, 2, "LL"),
+            Candidate(8, 24, "Simple"),  # 192 TBs > 108 SMs
+        ]
+        outcome = tune(ring_builder, ndv4(1), [32 * KiB],
+                       collective_sizing_chunks=8, space=space)
+        assert len(outcome.candidates) == 1
+        assert len(outcome.skipped) == 1
+        assert "thread blocks" in outcome.skipped[0][1]
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            tune(ring_builder, ndv4(1), [KiB],
+                 collective_sizing_chunks=8,
+                 space=[Candidate(8, 24, "Simple")])
+
+    def test_default_space_shape(self):
+        space = default_space(max_channels=4, max_instances=8)
+        assert all(c.channels <= 4 and c.instances <= 8 for c in space)
+        protocols = {c.protocol for c in space}
+        assert protocols == {"LL", "LL128", "Simple"}
+
+
+class TestBuildRegistry:
+    def test_ranges_are_contiguous_and_cover_everything(self, result):
+        registry = build_registry(result, "allreduce")
+        # Every size (including ones between grid points) selects some
+        # registered program.
+        for size in (1, 32 * KiB, 100 * KiB, 1 * MiB, 10 * MiB,
+                     64 * MiB, 10 ** 12):
+            assert registry.select(size) is not None
+
+    def test_selection_matches_winners(self, result):
+        registry = build_registry(result, "allreduce")
+        for size in result.sizes:
+            assert registry.selected_label(size) == \
+                result.best[size].label
+
+    def test_adjacent_same_winner_merges(self):
+        space = [Candidate(1, 2, "LL")]
+        outcome = tune(ring_builder, ndv4(1),
+                       [KiB, 2 * KiB, 4 * KiB],
+                       collective_sizing_chunks=8, space=space)
+        registry = build_registry(outcome, "allreduce")
+        assert len(registry.algorithms) == 1

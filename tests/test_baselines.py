@@ -1,0 +1,144 @@
+"""Tests for the hand-written baseline cost models."""
+
+import pytest
+
+from repro.baselines import (
+    ComposedHierarchicalAllReduce,
+    CudaAllToNext,
+    CudaTwoStepAllToAll,
+    ScclRuntimeAllGather,
+    extra_kernel_cost,
+    simulate_phases,
+)
+from repro.core import CompilerOptions, compile_program
+from repro.runtime import IrSimulator
+from repro.topology import dgx1, generic, ndv4
+from repro.algorithms import (
+    alltonext,
+    hierarchical_allreduce,
+    sccl_allgather_122,
+    twostep_alltoall,
+)
+from repro.analysis import ir_timer
+
+MiB = 1024 * 1024
+
+
+class TestComposedHierarchical:
+    def test_monotone_in_size(self):
+        composed = ComposedHierarchicalAllReduce(ndv4(2))
+        assert composed.time_us(64 * MiB) > composed.time_us(1 * MiB)
+
+    def test_slower_than_single_kernel_version(self):
+        """The composed implementation pays launches and loses cross-
+        phase pipelining; the fused MSCCLang program must win (Fig 8c's
+        red line sits below the MSCCLang lines)."""
+        topo = ndv4(2)
+        program = hierarchical_allreduce(2, 8, instances=2,
+                                         protocol="LL128",
+                                         intra_parallel=2)
+        ir = compile_program(
+            program, CompilerOptions(max_threadblocks=108)
+        )
+        fused_timer = ir_timer(ir, topo, program.collective)
+        composed = ComposedHierarchicalAllReduce(ndv4(2))
+        for size in (4 * MiB, 64 * MiB, 512 * MiB):
+            assert composed.time_us(size) > fused_timer(size)
+
+    def test_phase_cache_reused(self):
+        composed = ComposedHierarchicalAllReduce(ndv4(2))
+        composed.time_us(2 * MiB)
+        n_cached = len(composed._cache)
+        composed.time_us(4 * MiB)  # same protocol bucket (Simple)
+        assert len(composed._cache) == n_cached
+
+
+class TestCudaTwoStep:
+    def test_pays_rearrangement_kernel(self):
+        topo = ndv4(2)
+        cuda = CudaTwoStepAllToAll(topo)
+        base = cuda.time_us(16 * MiB)
+        # The rearrangement cost alone:
+        staged = 16 * MiB * 1 / 2
+        assert base > extra_kernel_cost(topo, staged)
+
+    def test_msccl_twostep_wins_at_large_sizes(self):
+        topo = ndv4(2)
+        program = twostep_alltoall(2, 8, protocol="Simple")
+        ir = compile_program(
+            program, CompilerOptions(max_threadblocks=108)
+        )
+        msccl_timer = ir_timer(ir, topo, program.collective)
+        cuda = CudaTwoStepAllToAll(ndv4(2))
+        size = 256 * MiB
+        assert msccl_timer(size) < cuda.time_us(size)
+
+
+class TestCudaAllToNext:
+    def test_optimized_wins_at_large_sizes(self):
+        topo = ndv4(2)
+        program = alltonext(2, 8, instances=4, protocol="Simple")
+        ir = compile_program(
+            program, CompilerOptions(max_threadblocks=108)
+        )
+        timer = ir_timer(ir, topo, program.collective)
+        cuda = CudaAllToNext(ndv4(2))
+        size = 64 * MiB
+        assert timer(size) < cuda.time_us(size) / 2
+
+    def test_baseline_wins_at_small_sizes(self):
+        """Figure 8g: the extra scatter/gather steps hurt for tiny
+        buffers."""
+        topo = ndv4(2)
+        program = alltonext(2, 8, instances=4, protocol="Simple")
+        ir = compile_program(
+            program, CompilerOptions(max_threadblocks=108)
+        )
+        timer = ir_timer(ir, topo, program.collective)
+        cuda = CudaAllToNext(ndv4(2))
+        size = 8 * 1024
+        assert timer(size) > cuda.time_us(size)
+
+
+class TestScclRuntime:
+    def test_ll_wins_small_sccl_wins_middle(self):
+        """Figure 11's two crossovers."""
+        topo = dgx1(1)
+        sccl = ScclRuntimeAllGather(dgx1(1))
+        ll_prog = sccl_allgather_122(8, protocol="LL")
+        ll_ir = compile_program(
+            ll_prog, CompilerOptions(max_threadblocks=80)
+        )
+        ll_timer = ir_timer(ll_ir, topo, ll_prog.collective)
+        simple_prog = sccl_allgather_122(8, protocol="Simple")
+        simple_ir = compile_program(
+            simple_prog, CompilerOptions(max_threadblocks=80)
+        )
+        simple_timer = ir_timer(simple_ir, topo, simple_prog.collective)
+
+        small = 32 * 1024
+        assert ll_timer(small) < sccl.time_us(small)
+        middle = 4 * MiB
+        assert sccl.time_us(middle) < simple_timer(middle)
+        assert sccl.time_us(middle) < ll_timer(middle)
+
+
+class TestMultikernelHelpers:
+    def test_simulate_phases_sums(self):
+        from tests.conftest import build_ring_allreduce
+
+        topo = generic(4, 1)
+        ir = compile_program(build_ring_allreduce(4))
+        single = IrSimulator(ir, topo).run(chunk_bytes=1024).time_us
+        total = simulate_phases(
+            [("a", ir, 1024), ("fixed", 100.0), ("b", ir, 1024)],
+            generic(4, 1),
+        )
+        assert total == pytest.approx(2 * single + 100.0, rel=0.05)
+
+    def test_extra_kernel_cost_scales_with_bytes(self):
+        topo = ndv4(1)
+        assert extra_kernel_cost(topo, 1e9) > extra_kernel_cost(topo, 1e6)
+        assert extra_kernel_cost(topo, 0) == pytest.approx(
+            topo.machine.kernel_launch_overhead
+        )

@@ -1,0 +1,114 @@
+"""Tests for the analytic alpha-beta lower bounds."""
+
+import pytest
+
+from repro.algorithms import (
+    ring_allgather,
+    ring_allreduce,
+    twostep_alltoall,
+)
+from repro.analysis import (
+    allgather_bound,
+    allreduce_bound,
+    alltoall_bound,
+    bound_for,
+    efficiency,
+    ir_timer,
+)
+from repro.core import CompilerOptions, compile_program
+from repro.topology import ndv4
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+class TestBoundArithmetic:
+    def test_allreduce_bound_components(self):
+        topology = ndv4(1)
+        bound = allreduce_bound(topology, 8 * MiB)
+        # 2 * (R-1)/R of the buffer over the best per-rank port.
+        assert bound.wire_bytes_per_rank == pytest.approx(
+            2 * 8 * MiB * 7 / 8
+        )
+        assert bound.latency_us == pytest.approx(
+            3 * topology.machine.nvlink_alpha
+        )
+        assert bound.time_us() == pytest.approx(
+            bound.latency_us + bound.bandwidth_us
+        )
+
+    def test_multi_node_uses_nic_cut(self):
+        """With 2 nodes the NIC cut is tighter than NVLink injection."""
+        single = allreduce_bound(ndv4(1), 64 * MiB)
+        double = allreduce_bound(ndv4(2), 64 * MiB)
+        assert double.time_us() > single.time_us()
+        assert double.bandwidth_gbps == ndv4(2).machine.ib_bandwidth
+
+    def test_allgather_is_half_of_allreduce_wire(self):
+        topology = ndv4(1)
+        ar = allreduce_bound(topology, MiB)
+        ag = allgather_bound(topology, MiB)
+        assert ag.wire_bytes_per_rank == pytest.approx(
+            ar.wire_bytes_per_rank / 2
+        )
+
+    def test_alltoall_single_latency_step(self):
+        bound = alltoall_bound(ndv4(1), MiB)
+        assert bound.latency_us == ndv4(1).machine.nvlink_alpha
+
+    def test_dispatch_by_name(self):
+        assert bound_for("allreduce", ndv4(1), MiB).time_us() > 0
+        with pytest.raises(ValueError, match="no analytic bound"):
+            bound_for("alltonext", ndv4(1), MiB)
+
+    def test_efficiency_clamps_to_one(self):
+        bound = allreduce_bound(ndv4(1), MiB)
+        assert efficiency(bound.time_us() / 2, bound) == 1.0
+        assert 0 < efficiency(bound.time_us() * 4, bound) < 0.3
+
+
+class TestSimulatorRespectsBounds:
+    """No simulated algorithm may beat the analytic floor."""
+
+    @pytest.mark.parametrize("size", [4 * KiB, 256 * KiB, 16 * MiB])
+    @pytest.mark.parametrize("builder,bound_fn", [
+        (lambda: ring_allreduce(8, channels=4, instances=8,
+                                protocol="Simple"), allreduce_bound),
+        (lambda: ring_allgather(8, channels=4, instances=8),
+         allgather_bound),
+    ])
+    def test_single_node(self, builder, bound_fn, size):
+        topology = ndv4(1)
+        program = builder()
+        ir = compile_program(
+            program, CompilerOptions(max_threadblocks=108)
+        )
+        timer = ir_timer(ir, topology, program.collective)
+        measured = timer(size)
+        floor = bound_fn(ndv4(1), size).time_us()
+        assert measured >= floor * 0.999
+
+    @pytest.mark.parametrize("size", [MiB, 64 * MiB])
+    def test_multi_node_alltoall(self, size):
+        topology = ndv4(2)
+        program = twostep_alltoall(2, 8, protocol="Simple")
+        ir = compile_program(
+            program, CompilerOptions(max_threadblocks=108)
+        )
+        timer = ir_timer(ir, topology, program.collective)
+        floor = alltoall_bound(ndv4(2), size).time_us()
+        assert timer(size) >= floor * 0.999
+
+    def test_good_algorithms_get_reasonably_close(self):
+        """The tuned ring should be within an order of magnitude of the
+        floor at bandwidth-bound sizes (sanity on the bound itself)."""
+        topology = ndv4(1)
+        program = ring_allreduce(8, channels=1, instances=24,
+                                 protocol="Simple")
+        ir = compile_program(
+            program, CompilerOptions(max_threadblocks=108)
+        )
+        timer = ir_timer(ir, topology, program.collective)
+        size = 64 * MiB
+        bound = allreduce_bound(ndv4(1), size)
+        assert efficiency(timer(size), bound) > 0.3

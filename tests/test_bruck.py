@@ -1,0 +1,64 @@
+"""Tests for Bruck's any-rank-count AllGather."""
+
+import math
+
+import pytest
+
+from repro.algorithms import bruck_allgather, ring_allgather
+from repro.core import CompilerOptions, Op, compile_program
+from repro.runtime import IrExecutor, IrSimulator
+from repro.topology import generic
+
+
+@pytest.mark.parametrize("ranks", [2, 3, 5, 6, 7, 8, 11, 13, 16])
+def test_correct_for_any_rank_count(ranks):
+    program = bruck_allgather(ranks)
+    ir = compile_program(program, CompilerOptions())
+    IrExecutor(ir, program.collective).run_and_check()
+
+
+@pytest.mark.parametrize("ranks", [5, 8, 13])
+def test_log_rounds(ranks):
+    """Each rank sends in at most ceil(log2 R) rounds, i.e. to that many
+    distinct peers."""
+    program = bruck_allgather(ranks)
+    ir = compile_program(program)
+    rounds = math.ceil(math.log2(ranks))
+    for gpu in ir.gpus:
+        peers = {
+            tb.send_peer for tb in gpu.threadblocks
+            if tb.send_peer is not None
+        }
+        assert len(peers) <= rounds
+
+
+def test_total_traffic_matches_allgather_lower_bound():
+    """Bruck moves exactly R-1 blocks into each rank — no resends."""
+    ranks = 7
+    program = bruck_allgather(ranks)
+    ir = compile_program(program)
+    recv_ops = (Op.RECV, Op.RECV_COPY_SEND)
+    for gpu in ir.gpus:
+        received = sum(
+            instr.count
+            for tb in gpu.threadblocks
+            for instr in tb.instructions
+            if instr.op in recv_ops
+        )
+        assert received == ranks - 1
+
+
+def test_faster_than_ring_at_small_sizes():
+    ranks = 12
+    topology = generic(ranks, 1)
+    bruck = compile_program(bruck_allgather(ranks))
+    ring = compile_program(ring_allgather(ranks))
+    bruck_time = IrSimulator(bruck, topology).run(chunk_bytes=512).time_us
+    ring_time = IrSimulator(ring, generic(ranks, 1)).run(
+        chunk_bytes=512).time_us
+    assert bruck_time < ring_time
+
+
+def test_tiny_cluster_rejected():
+    with pytest.raises(ValueError):
+        bruck_allgather(1)

@@ -1,0 +1,88 @@
+"""Tests for named buffers and tracing-time buffer state."""
+
+import pytest
+
+from repro.core.buffers import Buffer, BufferState, as_buffer
+from repro.core.chunk import InputChunk, UNINITIALIZED
+from repro.core.errors import ProgramError, UninitializedChunkError
+
+
+class TestBufferNames:
+    @pytest.mark.parametrize("alias,expected", [
+        ("in", Buffer.INPUT), ("input", Buffer.INPUT), ("i", Buffer.INPUT),
+        ("out", Buffer.OUTPUT), ("output", Buffer.OUTPUT),
+        ("sc", Buffer.SCRATCH), ("scratch", Buffer.SCRATCH),
+        ("IN", Buffer.INPUT), ("Out", Buffer.OUTPUT),
+    ])
+    def test_aliases(self, alias, expected):
+        assert as_buffer(alias) is expected
+
+    def test_buffer_passthrough(self):
+        assert as_buffer(Buffer.SCRATCH) is Buffer.SCRATCH
+
+    def test_unknown_name(self):
+        with pytest.raises(ProgramError, match="unknown buffer"):
+            as_buffer("remote")
+
+    def test_wrong_type(self):
+        with pytest.raises(ProgramError):
+            as_buffer(42)
+
+
+class TestBufferState:
+    def test_fixed_size_read_write(self):
+        state = BufferState(Buffer.INPUT, rank=0, size=4)
+        state.write(1, [InputChunk(0, 1)])
+        assert state.read(1, 1) == [InputChunk(0, 1)]
+
+    def test_uninitialized_read_raises(self):
+        state = BufferState(Buffer.OUTPUT, rank=2, size=4)
+        with pytest.raises(UninitializedChunkError, match="rank 2"):
+            state.read(0, 1)
+
+    def test_partial_uninitialized_span_raises(self):
+        state = BufferState(Buffer.OUTPUT, rank=0, size=4)
+        state.write(0, [InputChunk(0, 0)])
+        with pytest.raises(UninitializedChunkError):
+            state.read(0, 2)
+
+    def test_out_of_range_rejected(self):
+        state = BufferState(Buffer.INPUT, rank=0, size=4)
+        with pytest.raises(ProgramError, match="out of range"):
+            state.read(3, 2)
+
+    def test_negative_index_rejected(self):
+        state = BufferState(Buffer.INPUT, rank=0, size=4)
+        with pytest.raises(ProgramError):
+            state.read(-1, 1)
+
+    def test_zero_count_rejected(self):
+        state = BufferState(Buffer.INPUT, rank=0, size=4)
+        with pytest.raises(ProgramError):
+            state.read(0, 0)
+
+    def test_scratch_grows_on_demand(self):
+        state = BufferState(Buffer.SCRATCH, rank=0, size=None)
+        assert state.size == 0
+        state.write(5, [InputChunk(0, 0)])
+        assert state.size == 6
+        assert state.peek(3, 1) == [UNINITIALIZED]
+
+    def test_versions_bump_on_write(self):
+        state = BufferState(Buffer.INPUT, rank=0, size=2)
+        before = state.versions(0, 2)
+        state.write(0, [InputChunk(0, 0)])
+        after = state.versions(0, 2)
+        assert after[0] == before[0] + 1
+        assert after[1] == before[1]
+
+    def test_snapshot_skips_uninitialized(self):
+        state = BufferState(Buffer.OUTPUT, rank=0, size=3)
+        state.write(1, [InputChunk(0, 9)])
+        assert state.snapshot() == {1: InputChunk(0, 9)}
+
+    def test_multi_chunk_write(self):
+        state = BufferState(Buffer.INPUT, rank=0, size=4)
+        chunks = [InputChunk(0, i) for i in range(3)]
+        state.write(1, chunks)
+        assert state.read(1, 3) == chunks

@@ -1,0 +1,83 @@
+"""Tests for abstract chunk identities (repro.core.chunk)."""
+
+import pytest
+
+from repro.core.chunk import (
+    UNINITIALIZED,
+    InputChunk,
+    ReductionChunk,
+    Uninitialized,
+    allreduce_result,
+    is_initialized,
+    reduce_chunks,
+)
+
+
+class TestInputChunk:
+    def test_identity_is_rank_and_index(self):
+        assert InputChunk(1, 2) == InputChunk(1, 2)
+        assert InputChunk(1, 2) != InputChunk(2, 1)
+
+    def test_hashable(self):
+        assert len({InputChunk(0, 0), InputChunk(0, 0)}) == 1
+
+    def test_repr_mentions_coordinates(self):
+        assert "1" in repr(InputChunk(1, 7)) and "7" in repr(InputChunk(1, 7))
+
+
+class TestReductionChunk:
+    def test_reduce_two_inputs(self):
+        r = reduce_chunks(InputChunk(0, 0), InputChunk(1, 0))
+        assert isinstance(r, ReductionChunk)
+        assert r.inputs == {InputChunk(0, 0), InputChunk(1, 0)}
+
+    def test_order_insensitive(self):
+        a = reduce_chunks(InputChunk(0, 0), InputChunk(1, 0))
+        b = reduce_chunks(InputChunk(1, 0), InputChunk(0, 0))
+        assert a == b
+
+    def test_associative_composition(self):
+        ab = reduce_chunks(InputChunk(0, 0), InputChunk(1, 0))
+        abc1 = reduce_chunks(ab, InputChunk(2, 0))
+        bc = reduce_chunks(InputChunk(1, 0), InputChunk(2, 0))
+        abc2 = reduce_chunks(InputChunk(0, 0), bc)
+        assert abc1 == abc2
+
+    def test_multiplicity_matters(self):
+        once = reduce_chunks(InputChunk(0, 0), InputChunk(1, 0))
+        twice = reduce_chunks(once, InputChunk(1, 0))
+        assert once != twice
+        contributions = dict(twice.contributions)
+        assert contributions[InputChunk(1, 0)] == 2
+
+    def test_reducing_uninitialized_rejected(self):
+        with pytest.raises(TypeError):
+            reduce_chunks(InputChunk(0, 0), UNINITIALIZED)
+
+    def test_repr_shows_terms(self):
+        r = reduce_chunks(InputChunk(0, 0), InputChunk(1, 0))
+        text = repr(r)
+        assert "c[0,0]" in text and "c[1,0]" in text
+
+
+class TestAllreduceResult:
+    def test_contains_every_rank_once(self):
+        r = allreduce_result(4, 2)
+        assert r.inputs == {InputChunk(i, 2) for i in range(4)}
+        assert all(mult == 1 for _, mult in r.contributions)
+
+    def test_matches_incremental_reduction(self):
+        acc = InputChunk(0, 5)
+        for rank in range(1, 6):
+            acc = reduce_chunks(acc, InputChunk(rank, 5))
+        assert acc == allreduce_result(6, 5)
+
+
+class TestUninitialized:
+    def test_is_not_initialized(self):
+        assert not is_initialized(UNINITIALIZED)
+        assert not is_initialized(Uninitialized())
+
+    def test_inputs_and_reductions_are_initialized(self):
+        assert is_initialized(InputChunk(0, 0))
+        assert is_initialized(allreduce_result(2, 0))

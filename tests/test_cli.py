@@ -1,0 +1,115 @@
+"""Tests for the python -m repro.tools command line."""
+
+import json
+
+import pytest
+
+from repro.tools.cli import main, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("1024", 1024),
+        ("64KB", 64 * 1024),
+        ("2MB", 2 * 1024 ** 2),
+        ("1GB", 1024 ** 3),
+        ("1.5MB", int(1.5 * 1024 ** 2)),
+        ("512b", 512),
+    ])
+    def test_units(self, text, expected):
+        assert parse_size(text) == expected
+
+
+class TestCompileCommand:
+    def test_summary(self, capsys):
+        assert main(["compile", "ring_allreduce", "--ranks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "allreduce" in out and "ranks: 4" in out
+
+    def test_xml(self, capsys):
+        main(["compile", "ring_allreduce", "--ranks", "4",
+              "--format", "xml"])
+        out = capsys.readouterr().out
+        assert out.startswith("<algo")
+
+    def test_json_parses(self, capsys):
+        main(["compile", "ring_allreduce", "--ranks", "4",
+              "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_ranks"] == 4
+
+    def test_dot(self, capsys):
+        main(["compile", "tree_broadcast", "--ranks", "4",
+              "--format", "dot"])
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_check_flag_runs_executor(self, capsys):
+        main(["compile", "rhd_allreduce", "--ranks", "4", "--check"])
+        assert "data check passed" in capsys.readouterr().err
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["compile", "warp_allreduce"])
+
+    def test_topology_rank_mismatch(self):
+        with pytest.raises(SystemExit, match="does not match"):
+            main(["compile", "ring_allreduce", "--ranks", "4",
+                  "--topology", "ndv4"])
+
+
+class TestSimulateCommand:
+    def test_reports_latency_and_bandwidth(self, capsys):
+        assert main([
+            "simulate", "ring_allreduce", "--ranks", "8",
+            "--topology", "ndv4", "--instances", "4", "--size", "4MB",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out and "algbw:" in out
+
+    def test_multi_node_algorithm(self, capsys):
+        main([
+            "simulate", "twostep_alltoall", "--ranks", "8",
+            "--nodes", "2", "--size", "1MB",
+        ])
+        assert "latency:" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_plain_sweep(self, capsys):
+        main([
+            "sweep", "ring_allreduce", "--ranks", "4",
+            "--min-size", "1KB", "--max-size", "4KB",
+        ])
+        out = capsys.readouterr().out
+        assert "1KB" in out and "4KB" in out
+
+    def test_vs_nccl_adds_speedup_column(self, capsys):
+        main([
+            "sweep", "ring_allreduce", "--ranks", "8",
+            "--topology", "ndv4", "--channels", "4", "--instances", "8",
+            "--protocol", "LL",
+            "--min-size", "64KB", "--max-size", "128KB", "--vs-nccl",
+        ])
+        out = capsys.readouterr().out
+        assert "speedup" in out and "x" in out
+
+
+class TestAllCliAlgorithms:
+    """Every registered CLI algorithm compiles and passes the data check
+    through the command line."""
+
+    import pytest as _pytest
+
+    from repro.tools.cli import ALGORITHMS as _ALGORITHMS
+
+    @_pytest.mark.parametrize("name", sorted(_ALGORITHMS))
+    def test_compile_check(self, name, capsys):
+        args = ["compile", name, "--check"]
+        if name in ("hierarchical_allreduce", "twostep_alltoall",
+                    "hierarchical_alltoall", "naive_alltoall",
+                    "alltonext"):
+            args += ["--ranks", "8", "--nodes", "2"]
+        else:
+            args += ["--ranks", "8"]
+        assert main(args) == 0
+        assert "data check passed" in capsys.readouterr().err

@@ -1,0 +1,110 @@
+"""Tests for Chunk DAG construction and dependency edges."""
+
+from repro.core import AllReduce, MSCCLProgram, chunk
+from repro.core.buffers import Buffer
+
+
+def trace(body, num_ranks=3, chunk_factor=2):
+    coll = AllReduce(num_ranks, chunk_factor=chunk_factor)
+    with MSCCLProgram("t", coll) as program:
+        body()
+    return program.dag
+
+
+class TestTrueDependencies:
+    def test_chained_copies_depend(self):
+        def body():
+            a = chunk(0, "in", 0).copy(1, "sc", 0)
+            a.copy(2, "sc", 0)
+
+        dag = trace(body)
+        ops = dag.operations()
+        assert ops[1].true_deps == {ops[0].op_id}
+
+    def test_reduce_depends_on_both_sources(self):
+        def body():
+            staged = chunk(1, "in", 0).copy(0, "sc", 0)
+            moved = chunk(0, "in", 1).copy(0, "sc", 1)
+            chunk(0, "sc", 1).reduce(chunk(0, "sc", 0))
+
+        dag = trace(body)
+        ops = dag.operations()
+        assert {ops[0].op_id, ops[1].op_id} <= ops[2].true_deps
+
+    def test_independent_ops_have_no_edges(self):
+        def body():
+            chunk(0, "in", 0).copy(1, "sc", 0)
+            chunk(2, "in", 0).copy(1, "sc", 1)
+
+        dag = trace(body)
+        ops = dag.operations()
+        assert not ops[1].deps & {ops[0].op_id}
+
+
+class TestFalseDependencies:
+    def test_overwrite_creates_waw_edge(self):
+        def body():
+            chunk(0, "in", 0).copy(1, "sc", 0)
+            chunk(0, "in", 1).copy(1, "sc", 0)
+
+        dag = trace(body)
+        ops = dag.operations()
+        assert ops[0].op_id in ops[1].deps
+        assert ops[0].op_id not in ops[1].true_deps
+
+    def test_read_then_overwrite_creates_war_edge(self):
+        def body():
+            chunk(0, "in", 0).copy(1, "sc", 0)
+            chunk(1, "sc", 0).copy(2, "sc", 0)   # reads sc[0] on rank 1
+            chunk(0, "in", 1).copy(1, "sc", 0)   # overwrites it
+
+        dag = trace(body)
+        ops = dag.operations()
+        assert ops[1].op_id in ops[2].deps
+
+
+class TestStructure:
+    def test_start_nodes_for_inputs(self):
+        dag = trace(lambda: None, num_ranks=2, chunk_factor=3)
+        starts = [op for op in dag.ops if op.kind == "start"]
+        assert len(starts) == 6  # 2 ranks x 3 chunks
+
+    def test_locality_flag(self):
+        def body():
+            chunk(0, "in", 0).copy(0, "sc", 0)
+            chunk(0, "in", 1).copy(1, "sc", 0)
+
+        dag = trace(body)
+        local, remote = dag.operations()
+        assert local.is_local and not remote.is_local
+
+    def test_dependents_reverse_adjacency(self):
+        def body():
+            a = chunk(0, "in", 0).copy(1, "sc", 0)
+            a.copy(2, "sc", 0)
+
+        dag = trace(body)
+        ops = dag.operations()
+        assert ops[1].op_id in dag.dependents()[ops[0].op_id]
+
+    def test_trace_order_is_monotone(self):
+        def body():
+            c = chunk(0, "in", 0)
+            for rank in (1, 2):
+                c = c.copy(rank, "sc", 0)
+
+        dag = trace(body)
+        ops = dag.operations()
+        indices = [op.trace_index for op in ops]
+        assert indices == sorted(indices)
+        # Every dependency points backwards in trace order.
+        for op in dag.ops:
+            for dep in op.deps:
+                assert dep < op.op_id
+
+    def test_channel_recorded(self):
+        def body():
+            chunk(0, "in", 0).copy(1, "sc", 0, ch=3)
+
+        dag = trace(body)
+        assert dag.operations()[0].channel == 3

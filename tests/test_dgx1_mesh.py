@@ -1,0 +1,109 @@
+"""Tests for the DGX-1 hybrid cube-mesh topology."""
+
+import pytest
+
+from repro.algorithms import ring_allgather, sccl_allgather_122
+from repro.core import CompilerOptions, compile_program
+from repro.core.errors import RuntimeConfigError
+from repro.runtime import IrSimulator
+from repro.topology import DGX1_LINKS, Dgx1MeshTopology, dgx1_mesh
+
+MiB = 1024 * 1024
+
+
+class TestWiring:
+    def test_six_bricks_per_gpu(self):
+        """Every V100 has exactly 6 NVLink bricks."""
+        for gpu in range(8):
+            total = sum(
+                width for pair, width in DGX1_LINKS.items()
+                if gpu in pair
+            )
+            assert total == 6, f"GPU {gpu} has {total} bricks"
+
+    def test_neighbors_are_symmetric(self):
+        topo = dgx1_mesh()
+        for a in range(8):
+            for b in topo.neighbors(a):
+                assert a in topo.neighbors(b)
+                assert topo.link_width(a, b) == topo.link_width(b, a)
+
+    def test_mesh_is_not_fully_connected(self):
+        topo = dgx1_mesh()
+        unlinked = [
+            (a, b) for a in range(8) for b in range(a + 1, 8)
+            if topo.link_width(a, b) == 0
+        ]
+        assert unlinked  # the cube mesh has non-neighbor pairs
+
+    def test_self_link_is_zero(self):
+        assert dgx1_mesh().link_width(3, 3) == 0
+
+
+class TestRouting:
+    def test_direct_pairs_single_hop(self):
+        topo = dgx1_mesh()
+        resources, alpha, cross = topo.path(0, 3)
+        assert len(resources) == 1 and not cross
+        assert alpha == topo.machine.nvlink_alpha
+
+    def test_unlinked_pairs_relay(self):
+        topo = dgx1_mesh()
+        resources, alpha, cross = topo.path(0, 5)
+        assert len(resources) == 2
+        assert alpha == 2 * topo.machine.nvlink_alpha
+
+    def test_relay_picks_widest_bottleneck(self):
+        topo = dgx1_mesh()
+        relay = topo.best_relay(0, 5)
+        width = min(topo.link_width(0, relay), topo.link_width(relay, 5))
+        for other in range(8):
+            if other in (0, 5):
+                continue
+            other_width = min(topo.link_width(0, other),
+                              topo.link_width(other, 5))
+            assert width >= other_width
+
+    def test_double_links_twice_the_bandwidth(self):
+        topo = dgx1_mesh()
+        double = topo.link_bandwidth(0, 3)
+        single = topo.link_bandwidth(0, 1)
+        assert double == pytest.approx(2 * single)
+
+    def test_link_alpha_counts_hops(self):
+        topo = dgx1_mesh()
+        assert topo.link_alpha(0, 3) == topo.machine.nvlink_alpha
+        assert topo.link_alpha(0, 5) == 2 * topo.machine.nvlink_alpha
+        assert topo.link_alpha(2, 2) == 0
+
+
+class TestSimulationOnMesh:
+    def test_sccl_allgather_runs(self):
+        program = sccl_allgather_122(8, protocol="LL")
+        ir = compile_program(
+            program, CompilerOptions(max_threadblocks=80)
+        )
+        result = IrSimulator(ir, dgx1_mesh()).run(chunk_bytes=64 * 1024)
+        assert result.time_us > 0
+
+    def test_per_pair_links_contend_independently(self):
+        """The ring allgather saturates pair links; the mesh's per-pair
+        bandwidth (25-50 GB/s) makes it slower than the flat model's
+        per-GPU 150 GB/s ports at bandwidth-bound sizes."""
+        from repro.topology import dgx1
+
+        program = ring_allgather(8, channels=2, instances=4)
+        ir = compile_program(
+            program, CompilerOptions(max_threadblocks=80)
+        )
+        mesh_time = IrSimulator(ir, dgx1_mesh()).run(
+            chunk_bytes=32 * MiB).time_us
+        flat_time = IrSimulator(ir, dgx1(1)).run(
+            chunk_bytes=32 * MiB).time_us
+        assert mesh_time > flat_time
+
+    def test_wrong_gpu_count_rejected(self):
+        from repro.topology import DGX2_V100
+
+        with pytest.raises(RuntimeConfigError):
+            Dgx1MeshTopology(DGX2_V100)

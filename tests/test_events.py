@@ -1,0 +1,132 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.runtime.events import EventLoop, Signal
+
+
+class TestEventLoop:
+    def test_delays_accumulate(self):
+        loop = EventLoop()
+        log = []
+
+        def process():
+            yield ("delay", 5)
+            log.append(loop.now)
+            yield ("delay", 10)
+            log.append(loop.now)
+
+        loop.spawn(process())
+        assert loop.run() == 15
+        assert log == [5, 15]
+
+    def test_at_absolute_time(self):
+        loop = EventLoop()
+        seen = []
+
+        def process():
+            yield ("at", 42)
+            seen.append(loop.now)
+
+        loop.spawn(process())
+        loop.run()
+        assert seen == [42]
+
+    def test_at_in_the_past_clamps_to_now(self):
+        loop = EventLoop()
+        seen = []
+
+        def process():
+            yield ("delay", 10)
+            yield ("at", 3)  # already passed
+            seen.append(loop.now)
+
+        loop.spawn(process())
+        loop.run()
+        assert seen == [10]
+
+    def test_processes_interleave_by_time(self):
+        loop = EventLoop()
+        order = []
+
+        def proc(name, delay):
+            yield ("delay", delay)
+            order.append(name)
+
+        loop.spawn(proc("slow", 10))
+        loop.spawn(proc("fast", 1))
+        loop.run()
+        assert order == ["fast", "slow"]
+
+    def test_signal_wakes_waiter(self):
+        loop = EventLoop()
+        signal = Signal()
+        woken = []
+
+        def waiter():
+            yield ("wait", signal)
+            woken.append(loop.now)
+
+        def notifier():
+            yield ("delay", 7)
+            loop.notify(signal)
+
+        loop.spawn(waiter())
+        loop.spawn(notifier())
+        loop.run()
+        assert woken == [7]
+
+    def test_signal_broadcasts(self):
+        loop = EventLoop()
+        signal = Signal()
+        woken = []
+
+        def waiter(name):
+            yield ("wait", signal)
+            woken.append(name)
+
+        def notifier():
+            yield ("delay", 1)
+            loop.notify(signal)
+
+        for name in "abc":
+            loop.spawn(waiter(name))
+        loop.spawn(notifier())
+        loop.run()
+        assert sorted(woken) == ["a", "b", "c"]
+
+    def test_orphaned_waiter_is_a_deadlock(self):
+        loop = EventLoop()
+        signal = Signal()
+
+        def waiter():
+            yield ("wait", signal)
+
+        loop.spawn(waiter())
+        with pytest.raises(SimulationError, match="deadlock"):
+            loop.run()
+
+    def test_unknown_request_rejected(self):
+        loop = EventLoop()
+
+        def bad():
+            yield ("sleep", 10)
+
+        loop.spawn(bad())
+        with pytest.raises(SimulationError, match="unknown wait request"):
+            loop.run()
+
+    def test_scheduling_in_the_past_rejected(self):
+        loop = EventLoop()
+
+        def mover():
+            yield ("delay", 5)
+
+        loop.spawn(mover())
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.spawn(iter(()), at=1)
+
+    def test_empty_run_finishes_at_zero(self):
+        assert EventLoop().run() == 0.0

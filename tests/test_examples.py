@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run and tell their stories.
+
+The quick examples run on every test invocation; the slower sweeps run
+only when REPRO_EXAMPLES=1 (they re-simulate dozens of sizes).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+RUN_SLOW = bool(os.environ.get("REPRO_EXAMPLES"))
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "numeric check" in out
+    assert "speedup" in out
+
+
+def test_inspect_compilation():
+    out = run_example("inspect_compilation.py")
+    assert "Chunk DAG" in out
+    assert "After peephole fusion" in out
+    assert "<algo" in out or "MSCCL-IR" in out
+
+
+@pytest.mark.skipif(not RUN_SLOW, reason="set REPRO_EXAMPLES=1")
+@pytest.mark.parametrize("name", [
+    "hierarchical_allreduce.py",
+    "custom_collective.py",
+    "moe_training.py",
+    "autotune_registry.py",
+    "synthesize_for_topology.py",
+    "profile_and_faults.py",
+])
+def test_slow_examples(name):
+    run_example(name)

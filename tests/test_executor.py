@@ -1,0 +1,141 @@
+"""Tests for the numpy data-level executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllReduce,
+    Buffer,
+    CompilerOptions,
+    DeadlockError,
+    MSCCLProgram,
+    Op,
+    VerificationError,
+    chunk,
+    compile_program,
+)
+from repro.core.chunk import InputChunk, ReductionChunk
+from repro.core.ir import GpuProgram, IrInstruction, MscclIr, ThreadBlock
+from repro.runtime import IrExecutor
+from tests.conftest import build_ring_allreduce
+
+
+class TestRingExecution:
+    def test_ring_produces_correct_sums(self, ring4_ir, ring4):
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        executor.run_and_check()
+
+    def test_parallel_instances_still_correct(self):
+        program = build_ring_allreduce(4, instances=3, channels=2)
+        ir = compile_program(program, CompilerOptions())
+        IrExecutor(ir, program.collective).run_and_check()
+
+    def test_unfused_ir_also_correct(self):
+        program = build_ring_allreduce(4)
+        ir = compile_program(program, CompilerOptions(instr_fusion=False))
+        IrExecutor(ir, program.collective).run_and_check()
+
+    def test_outputs_match_numpy_reference(self, ring4_ir, ring4):
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        executor.run()
+        expected = sum(executor.initial_inputs[r] for r in range(4))
+        for rank in range(4):
+            actual = executor.buffers[(rank, Buffer.OUTPUT)]
+            np.testing.assert_allclose(actual, expected)
+
+    def test_different_seeds_give_different_data(self, ring4_ir, ring4):
+        a = IrExecutor(ring4_ir, ring4.collective, seed=0)
+        b = IrExecutor(ring4_ir, ring4.collective, seed=1)
+        assert not np.allclose(a.initial_inputs[0], b.initial_inputs[0])
+
+
+class TestExpectedChunk:
+    def test_input_chunk_expectation(self, ring4_ir, ring4):
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        expected = executor.expected_chunk(0, InputChunk(2, 1))
+        np.testing.assert_array_equal(
+            expected, executor.initial_inputs[2][1]
+        )
+
+    def test_reduction_expectation_with_multiplicity(self, ring4_ir, ring4):
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        doubled = ReductionChunk.of(
+            InputChunk(0, 0), InputChunk(0, 0), InputChunk(1, 0)
+        )
+        expected = executor.expected_chunk(0, doubled)
+        np.testing.assert_allclose(
+            expected,
+            2 * executor.initial_inputs[0][0]
+            + executor.initial_inputs[1][0],
+        )
+
+    def test_unknown_value_rejected(self, ring4_ir, ring4):
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        with pytest.raises(VerificationError):
+            executor.expected_chunk(0, "garbage")
+
+
+class TestFailureDetection:
+    def _broken_ir(self):
+        """Rank 1 expects a message nobody sends."""
+        ir = MscclIr(name="broken", collective="allreduce",
+                     protocol="Simple", num_ranks=2, in_place=True)
+        for rank in range(2):
+            gpu = GpuProgram(rank=rank, input_chunks=0, output_chunks=2,
+                             scratch_chunks=0)
+            tb = ThreadBlock(tb_id=0, send_peer=None, recv_peer=1 - rank,
+                             channel=0)
+            tb.instructions.append(IrInstruction(
+                step=0, op=Op.RECV, dst=(Buffer.OUTPUT, 0, 1),
+            ))
+            gpu.threadblocks.append(tb)
+            ir.gpus.append(gpu)
+        return ir
+
+    def test_stuck_execution_raises_deadlock(self):
+        coll = AllReduce(2, chunk_factor=2, in_place=True)
+        with pytest.raises(DeadlockError, match="stuck"):
+            IrExecutor(self._broken_ir(), coll).run()
+
+    def test_wrong_data_detected(self, ring4_ir, ring4):
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        executor.run()
+        executor.buffers[(2, Buffer.OUTPUT)][1, :] = 0.0
+        with pytest.raises(VerificationError, match="data-level"):
+            executor.check()
+
+    def test_nan_poison_detected(self, ring4_ir, ring4):
+        """Output buffers start as NaN; an unwritten constrained slot
+        must fail the check even against an accidental zero sum."""
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        executor.run()
+        executor.buffers[(0, Buffer.OUTPUT)][0, 0] = np.nan
+        with pytest.raises(VerificationError):
+            executor.check()
+
+
+class TestFractionSlicing:
+    def test_parallel_instances_partition_elements(self):
+        program = build_ring_allreduce(4, instances=3)
+        ir = compile_program(program, CompilerOptions())
+        executor = IrExecutor(ir, program.collective,
+                              elements_per_chunk=10)
+        executor.run_and_check()  # 10 elements split 3 ways still works
+
+    def test_single_element_chunks(self):
+        program = build_ring_allreduce(4)
+        ir = compile_program(program, CompilerOptions())
+        IrExecutor(ir, program.collective,
+                   elements_per_chunk=1).run_and_check()
+
+
+class TestScratchPrograms:
+    def test_scratch_buffer_flow(self):
+        coll = AllReduce(2, chunk_factor=1, in_place=True)
+        with MSCCLProgram("via_scratch", coll) as program:
+            staged = chunk(0, "in", 0).copy(1, "sc", 0)
+            total = chunk(1, "in", 0).reduce(staged)
+            total.copy(0, "in", 0)
+        ir = compile_program(program)
+        assert ir.gpus[1].scratch_chunks == 1
+        IrExecutor(ir, coll).run_and_check()

@@ -1,0 +1,162 @@
+"""Tests for peephole instruction fusion (rcs / rrcs / rrs)."""
+
+from repro.core import (
+    AllReduce,
+    MSCCLProgram,
+    Op,
+    chunk,
+    fuse,
+    lower,
+)
+from tests.conftest import build_ring_allreduce
+
+
+def lowered(body, num_ranks=4, chunk_factor=2):
+    coll = AllReduce(num_ranks, chunk_factor=chunk_factor)
+    with MSCCLProgram("t", coll) as program:
+        body()
+    return lower(program.dag)
+
+
+def ops_of(idag):
+    return [i.op for i in idag.live()]
+
+
+class TestRcs:
+    def test_recv_then_send_fuses(self):
+        def body():
+            c = chunk(0, "in", 0).copy(1, "sc", 0)
+            c.copy(2, "sc", 0)
+
+        idag = fuse(lowered(body))
+        assert ops_of(idag) == [Op.SEND, Op.RECV_COPY_SEND, Op.RECV]
+
+    def test_fused_instruction_inherits_comm_matches(self):
+        def body():
+            c = chunk(0, "in", 0).copy(1, "sc", 0)
+            c.copy(2, "sc", 0)
+
+        idag = fuse(lowered(body))
+        send, rcs, recv = idag.live()
+        assert rcs.recv_match == send.instr_id
+        assert rcs.send_match == recv.instr_id
+        assert recv.recv_match == rcs.instr_id
+
+    def test_long_forwarding_chain_fuses_throughout(self):
+        def body():
+            c = chunk(0, "in", 0)
+            for rank in (1, 2, 3):
+                c = c.copy(rank, "sc", 0)
+
+        idag = fuse(lowered(body))
+        histogram = {}
+        for op in ops_of(idag):
+            histogram[op] = histogram.get(op, 0) + 1
+        assert histogram == {Op.SEND: 1, Op.RECV_COPY_SEND: 2, Op.RECV: 1}
+
+    def test_no_fusion_across_different_spans(self):
+        def body():
+            chunk(0, "in", 0).copy(1, "sc", 0)
+            chunk(1, "in", 0).copy(2, "sc", 0)  # unrelated send
+
+        idag = fuse(lowered(body))
+        assert Op.RECV_COPY_SEND not in ops_of(idag)
+
+    def test_channel_conflict_blocks_fusion(self):
+        def body():
+            c = chunk(0, "in", 0).copy(1, "sc", 0, ch=0)
+            c.copy(2, "sc", 0, ch=1)
+
+        idag = fuse(lowered(body))
+        assert Op.RECV_COPY_SEND not in ops_of(idag)
+
+    def test_compatible_channels_fuse(self):
+        def body():
+            c = chunk(0, "in", 0).copy(1, "sc", 0, ch=1)
+            c.copy(2, "sc", 0, ch=1)
+
+        idag = fuse(lowered(body))
+        assert Op.RECV_COPY_SEND in ops_of(idag)
+
+    def test_longest_path_send_wins(self):
+        """Two sends depend on one recv; the one feeding more downstream
+        work is fused."""
+
+        def body():
+            c = chunk(0, "in", 0).copy(1, "sc", 0)
+            c.copy(3, "sc", 1)          # short branch: ends immediately
+            d = c.copy(2, "sc", 0)      # long branch: keeps forwarding
+            d.copy(3, "sc", 0)
+
+        idag = fuse(lowered(body))
+        fused = [i for i in idag.live() if i.op is Op.RECV_COPY_SEND
+                 and i.rank == 1]
+        assert len(fused) == 1
+        assert fused[0].send_peer == 2  # the long branch
+
+
+class TestRrcsRrs:
+    def test_rrc_then_send_with_later_read_keeps_copy(self):
+        def body():
+            total = chunk(1, "in", 0).reduce(chunk(0, "in", 0))
+            total.copy(2, "sc", 0)
+            chunk(1, "in", 0).copy(3, "sc", 0)  # value is read again
+
+        idag = fuse(lowered(body))
+        assert Op.RECV_REDUCE_COPY_SEND in ops_of(idag)
+        assert Op.RECV_REDUCE_SEND not in ops_of(idag)
+
+    def test_rrs_when_result_dead_and_overwritten(self):
+        def body():
+            total = chunk(1, "in", 0).reduce(chunk(0, "in", 0))
+            total.copy(2, "sc", 0)
+            # The local partial sum is overwritten, never read again.
+            chunk(0, "in", 1).copy(1, "in", 0)
+
+        idag = fuse(lowered(body))
+        assert Op.RECV_REDUCE_SEND in ops_of(idag)
+
+    def test_rrs_not_used_when_never_overwritten(self):
+        def body():
+            total = chunk(1, "in", 0).reduce(chunk(0, "in", 0))
+            total.copy(2, "sc", 0)
+
+        idag = fuse(lowered(body))
+        # Without a later overwrite the local result must be kept.
+        assert Op.RECV_REDUCE_SEND not in ops_of(idag)
+        assert Op.RECV_REDUCE_COPY_SEND in ops_of(idag)
+
+
+class TestRingFusion:
+    def test_ring_allreduce_uses_full_fused_repertoire(self):
+        program = build_ring_allreduce(4)
+        idag = fuse(lower(program.dag))
+        histogram = {}
+        for instr in idag.live():
+            histogram[instr.op] = histogram.get(instr.op, 0) + 1
+        # Per chunk: 1 send, R-2 rrs, 1 rrcs, R-2 rcs, 1 recv.
+        assert histogram[Op.SEND] == 4
+        assert histogram[Op.RECV_REDUCE_SEND] == 8
+        assert histogram[Op.RECV_REDUCE_COPY_SEND] == 4
+        assert histogram[Op.RECV_COPY_SEND] == 8
+        assert histogram[Op.RECV] == 4
+
+    def test_fusion_reduces_instruction_count(self):
+        program = build_ring_allreduce(4)
+        unfused = lower(program.dag)
+        count_before = len(unfused)
+        fused = fuse(lower(program.dag))
+        assert len(fused) < count_before
+
+    def test_fused_dependencies_remap_to_receiver(self):
+        def body():
+            c = chunk(0, "in", 0).copy(1, "sc", 0)
+            d = c.copy(2, "sc", 0)
+            d.copy(3, "sc", 0)
+
+        idag = fuse(lowered(body))
+        for instr in idag.live():
+            for dep in instr.deps:
+                assert idag.instructions[dep] is not None, (
+                    "dependency points at a fused-away instruction"
+                )

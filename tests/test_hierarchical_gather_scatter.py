@@ -1,0 +1,76 @@
+"""Tests for the two-level hierarchical AllGather / ReduceScatter."""
+
+import pytest
+
+from repro.algorithms import (
+    hierarchical_allgather,
+    hierarchical_reducescatter,
+    ring_allgather,
+    ring_reducescatter,
+)
+from repro.core import CompilerOptions, compile_program
+from repro.runtime import IrExecutor, IrSimulator
+from repro.topology import ndv4
+
+MiB = 1024 * 1024
+
+
+@pytest.mark.parametrize("builder", [hierarchical_allgather,
+                                     hierarchical_reducescatter])
+@pytest.mark.parametrize("nodes,gpus", [(2, 2), (2, 4), (3, 3), (4, 2)])
+def test_correct(builder, nodes, gpus):
+    program = builder(nodes, gpus)
+    ir = compile_program(program, CompilerOptions())
+    IrExecutor(ir, program.collective).run_and_check()
+
+
+@pytest.mark.parametrize("builder", [hierarchical_allgather,
+                                     hierarchical_reducescatter])
+def test_two_phase_channel_plan(builder):
+    program = builder(2, 4)
+    ir = compile_program(program)
+    assert ir.channels_used() == 2
+
+
+def test_inter_node_traffic_stays_on_gpu_index_rails():
+    program = hierarchical_allgather(2, 4)
+    ir = compile_program(program)
+    for src, dst, _ in ir.connections():
+        if src // 4 != dst // 4:
+            assert src % 4 == dst % 4
+
+
+@pytest.mark.parametrize("builder,flat_builder", [
+    (hierarchical_allgather, ring_allgather),
+    (hierarchical_reducescatter, ring_reducescatter),
+])
+def test_beats_flat_ring_on_two_nodes(builder, flat_builder):
+    """The flat R-rank ring funnels every byte through one NIC pair per
+    direction; the hierarchical version engages all of them."""
+    nodes, gpus = 2, 8
+    topology = ndv4(nodes)
+    hier_program = builder(nodes, gpus, instances=4)
+    hier = compile_program(
+        hier_program, CompilerOptions(max_threadblocks=108)
+    )
+    flat_program = flat_builder(nodes * gpus, channels=1, instances=4)
+    flat = compile_program(
+        flat_program, CompilerOptions(max_threadblocks=108)
+    )
+    size = 64 * MiB
+    hier_chunks = hier_program.collective.sizing_chunks()
+    flat_chunks = flat_program.collective.sizing_chunks()
+    hier_time = IrSimulator(hier, topology).run(
+        chunk_bytes=size / hier_chunks).time_us
+    flat_time = IrSimulator(flat, ndv4(nodes)).run(
+        chunk_bytes=size / flat_chunks).time_us
+    assert hier_time < flat_time
+
+
+def test_reducescatter_lands_each_rank_its_own_segment():
+    """The distribution is the standard one (rank r owns segment r),
+    not the transposed layout the fused AllReduce tolerates."""
+    program = hierarchical_reducescatter(2, 3)
+    # The trace-level verifier enforces exactly this; compiling with
+    # verification on is the assertion.
+    compile_program(program, CompilerOptions(verify=True))

@@ -1,0 +1,71 @@
+"""Tests for MSCCL-IR structure and serialization."""
+
+from xml.etree import ElementTree
+
+from repro.core import CompilerOptions, MscclIr, compile_program
+from tests.conftest import build_ring_allreduce
+
+
+class TestQueries:
+    def test_counts(self, ring4_ir):
+        assert ring4_ir.num_ranks == 4
+        assert ring4_ir.threadblock_count() == 4
+        assert ring4_ir.max_threadblocks_per_gpu() == 1
+        # 4 chunks x 7 hops = 28 fused instructions.
+        assert ring4_ir.instruction_count() == 28
+
+    def test_histogram_totals(self, ring4_ir):
+        histogram = ring4_ir.op_histogram()
+        assert sum(histogram.values()) == ring4_ir.instruction_count()
+
+    def test_connections_form_the_ring(self, ring4_ir):
+        conns = ring4_ir.connections()
+        pairs = {(src, dst) for src, dst, _ in conns}
+        assert pairs == {(i, (i + 1) % 4) for i in range(4)}
+
+    def test_buffer_sizes_recorded(self, ring4_ir):
+        gpu = ring4_ir.gpus[0]
+        assert gpu.input_chunks == 0  # in place: aliases output
+        assert gpu.output_chunks == 4
+        assert gpu.scratch_chunks == 0
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_everything(self, ring4_ir):
+        text = ring4_ir.to_json()
+        back = MscclIr.from_json(text)
+        assert back.to_dict() == ring4_ir.to_dict()
+
+    def test_roundtrip_with_instances_and_deps(self):
+        program = build_ring_allreduce(4, instances=2, channels=2)
+        ir = compile_program(program, CompilerOptions())
+        back = MscclIr.from_json(ir.to_json())
+        assert back.to_dict() == ir.to_dict()
+        assert back.channels_used() == ir.channels_used()
+
+    def test_metadata_survives(self, ring4_ir):
+        back = MscclIr.from_json(ring4_ir.to_json(indent=2))
+        assert back.name == ring4_ir.name
+        assert back.collective == "allreduce"
+        assert back.protocol == ring4_ir.protocol
+        assert back.in_place
+
+
+class TestXml:
+    def test_xml_is_well_formed(self, ring4_ir):
+        root = ElementTree.fromstring(ring4_ir.to_xml())
+        assert root.tag == "algo"
+        assert root.get("ngpus") == "4"
+        gpus = root.findall("gpu")
+        assert len(gpus) == 4
+
+    def test_xml_steps_match_instruction_count(self, ring4_ir):
+        root = ElementTree.fromstring(ring4_ir.to_xml())
+        steps = root.findall(".//step")
+        assert len(steps) == ring4_ir.instruction_count()
+
+    def test_xml_records_peers(self, ring4_ir):
+        root = ElementTree.fromstring(ring4_ir.to_xml())
+        tb = root.find("gpu/tb")
+        assert tb.get("send") != "-1"
+        assert tb.get("recv") != "-1"

@@ -1,0 +1,213 @@
+"""Tests for lowering the Chunk DAG into the Instruction DAG."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import AllReduce, MSCCLProgram, Op, chunk, lower, parallelize
+from repro.core.instructions import (
+    fraction_covers,
+    fractions_overlap,
+)
+from repro.core.lowering import _overlaps, _subtract
+
+
+def trace(body, num_ranks=3, chunk_factor=2, instances=1):
+    coll = AllReduce(num_ranks, chunk_factor=chunk_factor)
+    with MSCCLProgram("t", coll, instances=instances) as program:
+        body()
+    return program
+
+
+class TestExpansion:
+    def test_remote_copy_becomes_send_recv(self):
+        program = trace(lambda: chunk(0, "in", 0).copy(1, "sc", 0))
+        idag = lower(program.dag)
+        ops = [i.op for i in idag.live()]
+        assert ops == [Op.SEND, Op.RECV]
+        send, recv = idag.live()
+        assert send.send_match == recv.instr_id
+        assert recv.recv_match == send.instr_id
+        assert send.rank == 0 and recv.rank == 1
+
+    def test_remote_reduce_becomes_send_rrc(self):
+        def body():
+            incoming = chunk(1, "in", 0)
+            chunk(0, "in", 0).reduce(incoming)
+
+        program = trace(body)
+        idag = lower(program.dag)
+        ops = [i.op for i in idag.live()]
+        assert ops == [Op.SEND, Op.RECV_REDUCE_COPY]
+        rrc = idag.live()[1]
+        assert rrc.src == rrc.dst  # accumulates in place
+
+    def test_local_copy_single_instruction(self):
+        program = trace(lambda: chunk(0, "in", 0).copy(0, "sc", 3))
+        idag = lower(program.dag)
+        (instr,) = idag.live()
+        assert instr.op is Op.COPY
+        assert instr.send_peer is None and instr.recv_peer is None
+
+    def test_local_reduce_single_instruction(self):
+        def body():
+            chunk(0, "in", 0).copy(0, "sc", 0)
+            chunk(0, "in", 1).reduce(chunk(0, "sc", 0))
+
+        program = trace(body)
+        idag = lower(program.dag)
+        assert [i.op for i in idag.live()] == [Op.COPY, Op.REDUCE]
+
+    def test_processing_edge_recomputed_at_instruction_level(self):
+        def body():
+            a = chunk(0, "in", 0).copy(1, "sc", 0)
+            a.copy(2, "sc", 0)
+
+        program = trace(body)
+        idag = lower(program.dag)
+        send0, recv0, send1, recv1 = idag.live()
+        # The second send (on rank 1) reads what the first recv wrote.
+        assert recv0.instr_id in send1.true_deps
+
+
+class TestInstances:
+    def test_program_instances_replicate_ops(self):
+        program = trace(
+            lambda: chunk(0, "in", 0).copy(1, "sc", 0), instances=3
+        )
+        idag = lower(program.dag, instances=3)
+        sends = [i for i in idag.live() if i.op is Op.SEND]
+        assert len(sends) == 3
+        fracs = sorted((s.frac_lo, s.frac_hi) for s in sends)
+        assert fracs == [
+            (Fraction(0), Fraction(1, 3)),
+            (Fraction(1, 3), Fraction(2, 3)),
+            (Fraction(2, 3), Fraction(1)),
+        ]
+
+    def test_parallelize_multiplies_with_instances(self):
+        def body():
+            with parallelize(2):
+                chunk(0, "in", 0).copy(1, "sc", 0)
+
+        program = trace(body, instances=2)
+        idag = lower(program.dag, instances=2)
+        sends = [i for i in idag.live() if i.op is Op.SEND]
+        assert len(sends) == 4
+        assert all(s.instance[1] == 4 for s in sends)
+
+    def test_instances_partition_exactly(self):
+        program = trace(
+            lambda: chunk(0, "in", 0).copy(1, "sc", 0), instances=4
+        )
+        idag = lower(program.dag, instances=4)
+        sends = sorted(
+            (i for i in idag.live() if i.op is Op.SEND),
+            key=lambda s: s.frac_lo,
+        )
+        assert sends[0].frac_lo == 0 and sends[-1].frac_hi == 1
+        for a, b in zip(sends, sends[1:]):
+            assert a.frac_hi == b.frac_lo
+
+    def test_cross_parallelism_dependencies_by_overlap(self):
+        """A 2-way parallel producer feeding an unparallelized consumer:
+        the consumer must depend on both instances."""
+
+        def body():
+            with parallelize(2):
+                chunk(0, "in", 0).copy(1, "sc", 0)
+            chunk(1, "sc", 0).copy(2, "sc", 0)
+
+        program = trace(body)
+        idag = lower(program.dag)
+        recvs = [i for i in idag.live()
+                 if i.op is Op.RECV and i.rank == 1]
+        consumer_send = [i for i in idag.live()
+                         if i.op is Op.SEND and i.rank == 1][0]
+        assert {r.instr_id for r in recvs} <= consumer_send.true_deps
+
+    def test_same_instance_dependencies_stay_disjoint(self):
+        """Matching instances of two parallelized ops depend pairwise,
+        not all-to-all."""
+
+        def body():
+            with parallelize(2):
+                a = chunk(0, "in", 0).copy(1, "sc", 0)
+                a.copy(2, "sc", 0)
+
+        program = trace(body)
+        idag = lower(program.dag)
+        live = idag.live()
+        second_sends = [i for i in live if i.op is Op.SEND and i.rank == 1]
+        for send in second_sends:
+            producing_recvs = [
+                live_i for live_i in live
+                if live_i.instr_id in send.true_deps
+            ]
+            assert all(
+                r.fraction == send.fraction for r in producing_recvs
+            )
+
+
+class TestOverwrittenTracking:
+    def test_fully_overwritten_flag(self):
+        def body():
+            chunk(0, "in", 0).copy(1, "sc", 0)
+            chunk(0, "in", 1).copy(1, "sc", 0)
+
+        program = trace(body)
+        idag = lower(program.dag)
+        first_recv = [i for i in idag.live() if i.op is Op.RECV][0]
+        assert first_recv.overwritten
+
+    def test_partial_overwrite_not_flagged(self):
+        """Only half the fraction range is overwritten."""
+
+        def body():
+            chunk(0, "in", 0).copy(1, "sc", 0)
+            with parallelize(2):
+                chunk(0, "in", 1).copy(1, "sc", 0)
+
+        program = trace(body)
+        idag = lower(program.dag)
+        # Both parallel instances together DO cover the location.
+        first_recv = [i for i in idag.live() if i.op is Op.RECV][0]
+        assert first_recv.overwritten
+
+    def test_never_overwritten_not_flagged(self):
+        program = trace(lambda: chunk(0, "in", 0).copy(1, "sc", 0))
+        idag = lower(program.dag)
+        recv = [i for i in idag.live() if i.op is Op.RECV][0]
+        assert not recv.overwritten
+
+
+class TestIntervalHelpers:
+    def test_subtract_middle(self):
+        got = _subtract([(Fraction(0), Fraction(1))],
+                        Fraction(1, 4), Fraction(1, 2))
+        assert got == [(Fraction(0), Fraction(1, 4)),
+                       (Fraction(1, 2), Fraction(1))]
+
+    def test_subtract_disjoint(self):
+        intervals = [(Fraction(0), Fraction(1, 4))]
+        assert _subtract(intervals, Fraction(1, 2), Fraction(1)) == intervals
+
+    def test_subtract_everything(self):
+        assert _subtract([(Fraction(0), Fraction(1))],
+                         Fraction(0), Fraction(1)) == []
+
+    def test_overlaps(self):
+        assert _overlaps([(Fraction(0), Fraction(1, 2))],
+                         Fraction(1, 4), Fraction(3, 4))
+        assert not _overlaps([(Fraction(0), Fraction(1, 2))],
+                             Fraction(1, 2), Fraction(1))
+
+    def test_fraction_utils(self):
+        assert fractions_overlap(Fraction(0), Fraction(1, 2),
+                                 Fraction(1, 4), Fraction(1))
+        assert not fractions_overlap(Fraction(0), Fraction(1, 2),
+                                     Fraction(1, 2), Fraction(1))
+        assert fraction_covers(Fraction(0), Fraction(1),
+                               Fraction(1, 4), Fraction(1, 2))
+        assert not fraction_covers(Fraction(1, 4), Fraction(1, 2),
+                                   Fraction(0), Fraction(1))

@@ -1,0 +1,124 @@
+"""Tests for the NCCL baseline model."""
+
+import pytest
+
+from repro.core import CompilerOptions, compile_program
+from repro.nccl import (
+    MAX_NCCL_CHANNELS,
+    NcclModel,
+    default_rings,
+    nccl_ring_allreduce,
+    nccl_tree_allreduce,
+    select_instances,
+    select_protocol,
+)
+from repro.runtime import IrExecutor, IrSimulator
+from repro.topology import ndv4
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+class TestSelection:
+    def test_protocol_thresholds(self):
+        assert select_protocol(1 * KiB) == "LL"
+        assert select_protocol(32 * KiB) == "LL"
+        assert select_protocol(64 * KiB) == "LL128"
+        assert select_protocol(1 * MiB) == "LL128"
+        assert select_protocol(2 * MiB) == "Simple"
+        assert select_protocol(4 * 1024 * MiB) == "Simple"
+
+    def test_instances_split_across_rings(self):
+        assert select_instances(MiB, rings=1) == MAX_NCCL_CHANNELS
+        assert select_instances(MiB, rings=8) == 3
+
+    def test_default_rings(self):
+        assert default_rings(1, 8) == 1
+        assert default_rings(2, 8) == 8
+        assert default_rings(2, 16) == 8
+
+
+class TestRingSchedule:
+    def test_single_node_is_one_logical_ring(self):
+        program = nccl_ring_allreduce(8, instances=4)
+        ir = compile_program(program)
+        assert ir.channels_used() == 4
+
+    def test_correctness_single_node(self):
+        program = nccl_ring_allreduce(8, instances=2)
+        ir = compile_program(program)
+        IrExecutor(ir, program.collective).run_and_check()
+
+    def test_correctness_multi_node_rings(self):
+        program = nccl_ring_allreduce(
+            8, gpus_per_node=4, rings=4, instances=1
+        )
+        ir = compile_program(program)
+        IrExecutor(ir, program.collective).run_and_check()
+
+    def test_rings_cross_on_different_nics(self):
+        """Each rotated ring must cross the node boundary on a different
+        GPU pair, spreading inter-node traffic over the NICs."""
+        program = nccl_ring_allreduce(
+            8, gpus_per_node=4, rings=4, instances=1
+        )
+        ir = compile_program(program)
+        boundary_senders = {
+            src for src, dst, _ in ir.connections()
+            if src // 4 != dst // 4
+        }
+        assert len(boundary_senders) == 8  # every GPU crosses for a ring
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            nccl_ring_allreduce(8, gpus_per_node=3)
+        with pytest.raises(ValueError):
+            nccl_ring_allreduce(8, rings=3)
+
+
+class TestTreeSchedule:
+    @pytest.mark.parametrize("ranks", [2, 3, 7, 8])
+    def test_tree_correctness(self, ranks):
+        program = nccl_tree_allreduce(ranks, instances=1)
+        ir = compile_program(program)
+        IrExecutor(ir, program.collective).run_and_check()
+
+    def test_tree_depth_bounds_steps(self):
+        """Log-depth: no rank executes more than O(log R) instructions."""
+        program = nccl_tree_allreduce(8, instances=1)
+        ir = compile_program(program)
+        max_steps = max(
+            sum(len(tb.instructions) for tb in gpu.threadblocks)
+            for gpu in ir.gpus
+        )
+        assert max_steps <= 8
+
+
+class TestNcclModel:
+    def test_allreduce_time_monotone_in_size(self):
+        model = NcclModel(ndv4(1))
+        small = model.allreduce_time(64 * KiB).time_us
+        large = model.allreduce_time(64 * MiB).time_us
+        assert large > small
+
+    def test_protocol_override(self):
+        model = NcclModel(ndv4(1))
+        result = model.allreduce_time(1 * MiB, protocol="Simple")
+        assert result.protocol == "Simple"
+
+    def test_ir_cache_reused(self):
+        model = NcclModel(ndv4(1))
+        model.allreduce_time(1 * KiB)
+        cached = dict(model._ir_cache)
+        model.allreduce_time(2 * KiB)  # same protocol/instances bucket
+        assert dict(model._ir_cache) == cached
+
+    def test_alltoall_time(self):
+        model = NcclModel(ndv4(2))
+        result = model.alltoall_time(16 * MiB)
+        assert result.time_us > 0
+
+    def test_unknown_kind_rejected(self):
+        model = NcclModel(ndv4(1))
+        with pytest.raises(ValueError):
+            model._compile("allgather", "Simple", 1)

@@ -1,0 +1,234 @@
+"""Tests for the DSL tracing context, ChunkRef semantics, and directives."""
+
+import pytest
+
+from repro.core import (
+    AllGather,
+    AllReduce,
+    AllToAll,
+    MSCCLProgram,
+    ProgramError,
+    StaleReferenceError,
+    UninitializedChunkError,
+    chunk,
+    current_program,
+    parallelize,
+)
+from repro.core.chunk import InputChunk, allreduce_result
+
+
+def simple_program(num_ranks=2, **kwargs):
+    return MSCCLProgram(
+        "t", AllReduce(num_ranks, chunk_factor=1), **kwargs
+    )
+
+
+class TestProgramContext:
+    def test_chunk_outside_program_fails(self):
+        with pytest.raises(ProgramError, match="no MSCCLProgram"):
+            chunk(0, "in", 0)
+
+    def test_nested_programs_rejected(self):
+        with simple_program():
+            with pytest.raises(ProgramError, match="already active"):
+                with simple_program():
+                    pass
+
+    def test_current_program_inside_context(self):
+        with simple_program() as program:
+            assert current_program() is program
+
+    def test_operations_after_exit_rejected(self):
+        with simple_program() as program:
+            ref = chunk(0, "in", 0)
+        with pytest.raises(ProgramError, match="left its 'with' block"):
+            ref.copy(1, "in", 0)
+
+    def test_context_resets_after_exception(self):
+        with pytest.raises(ValueError):
+            with simple_program():
+                raise ValueError("boom")
+        # A fresh program can be opened afterwards.
+        with simple_program():
+            chunk(0, "in", 0)
+
+
+class TestAddressing:
+    def test_tuple_rank_addressing(self):
+        coll = AllReduce(4, chunk_factor=1)
+        with MSCCLProgram("t", coll, gpus_per_node=2):
+            ref = chunk((1, 1), "in", 0)
+            assert ref.rank == 3
+
+    def test_tuple_index_addressing(self):
+        coll = AllToAll(4, chunk_factor=1)
+        with MSCCLProgram("t", coll, gpus_per_node=2):
+            ref = chunk(0, "in", (1, 0))
+            assert ref.index == 2
+
+    def test_tuple_rank_without_geometry_fails(self):
+        with simple_program():
+            with pytest.raises(ProgramError, match="gpus_per_node"):
+                chunk((0, 0), "in", 0)
+
+    def test_rank_out_of_range(self):
+        with simple_program():
+            with pytest.raises(ProgramError, match="out of range"):
+                chunk(5, "in", 0)
+
+    def test_gpu_index_out_of_range(self):
+        coll = AllReduce(4, chunk_factor=1)
+        with MSCCLProgram("t", coll, gpus_per_node=2):
+            with pytest.raises(ProgramError):
+                chunk((0, 3), "in", 0)
+
+
+class TestCopyReduceSemantics:
+    def test_copy_moves_value(self):
+        with simple_program() as program:
+            chunk(0, "in", 0).copy(1, "sc", 0)
+            assert chunk(1, "sc", 0).values() == [InputChunk(0, 0)]
+        assert len(program.dag.operations()) == 1
+
+    def test_copy_returns_destination_ref(self):
+        with simple_program():
+            ref = chunk(0, "in", 0).copy(1, "sc", 2)
+            assert (ref.rank, ref.index) == (1, 2)
+
+    def test_self_copy_is_noop(self):
+        with simple_program() as program:
+            ref = chunk(0, "in", 0)
+            assert ref.copy(0, "in", 0) is ref
+        assert not program.dag.operations()
+
+    def test_reduce_accumulates_in_destination(self):
+        with simple_program():
+            mine = chunk(0, "in", 0)
+            incoming = chunk(1, "in", 0).copy(0, "sc", 0)
+            total = mine.reduce(incoming)
+            assert total.values() == [allreduce_result(2, 0)]
+
+    def test_reduce_count_mismatch(self):
+        coll = AllReduce(2, chunk_factor=2)
+        with MSCCLProgram("t", coll):
+            a = chunk(0, "in", 0, count=2)
+            b = chunk(1, "in", 0).copy(0, "sc", 0)
+            with pytest.raises(ProgramError, match="equal counts"):
+                a.reduce(b)
+
+    def test_reduce_non_ref_rejected(self):
+        with simple_program():
+            with pytest.raises(ProgramError, match="ChunkRef"):
+                chunk(0, "in", 0).reduce(42)
+
+    def test_copy_count_must_match(self):
+        coll = AllReduce(2, chunk_factor=2)
+        with MSCCLProgram("t", coll):
+            with pytest.raises(ProgramError, match="count"):
+                chunk(0, "in", 0, count=2).copy(1, "in", 0, 1)
+
+    def test_paper_style_copy_with_count(self):
+        coll = AllReduce(2, chunk_factor=2)
+        with MSCCLProgram("t", coll):
+            chunk(0, "in", 0, count=2).copy(1, "sc", 0, 2)
+
+
+class TestStaleReferences:
+    def test_overwritten_source_is_stale(self):
+        with simple_program():
+            old = chunk(1, "in", 0)
+            chunk(0, "in", 0).copy(1, "in", 0)  # overwrites rank 1
+            assert old.is_stale()
+            with pytest.raises(StaleReferenceError):
+                old.copy(0, "sc", 0)
+
+    def test_reduce_invalidates_destination_refs(self):
+        with simple_program():
+            old = chunk(0, "in", 0)
+            incoming = chunk(1, "in", 0).copy(0, "sc", 0)
+            chunk(0, "in", 0).reduce(incoming)
+            with pytest.raises(StaleReferenceError):
+                old.values()
+
+    def test_fresh_reacquire_after_overwrite(self):
+        with simple_program():
+            chunk(0, "in", 0).copy(1, "in", 0)
+            again = chunk(1, "in", 0)  # latest reference is fine
+            again.copy(0, "sc", 1)
+
+    def test_reading_does_not_invalidate(self):
+        with simple_program():
+            ref = chunk(0, "in", 0)
+            ref.copy(1, "sc", 0)
+            ref.copy(1, "sc", 1)  # source may be copied repeatedly
+            assert not ref.is_stale()
+
+
+class TestUninitializedAccess:
+    def test_reading_uninitialized_scratch(self):
+        with simple_program():
+            with pytest.raises(UninitializedChunkError):
+                chunk(0, "sc", 0)
+
+    def test_reading_uninitialized_output(self):
+        coll = AllReduce(2, chunk_factor=1)  # out of place
+        with MSCCLProgram("t", coll):
+            with pytest.raises(UninitializedChunkError):
+                chunk(0, "out", 0)
+
+
+class TestScratchDeduction:
+    def test_scratch_size_tracks_highest_index(self):
+        with simple_program() as program:
+            chunk(0, "in", 0).copy(0, "sc", 7)
+            assert program.scratch_chunks(0) == 8
+            assert program.scratch_chunks(1) == 0
+
+
+class TestParallelize:
+    def test_ops_inside_get_group(self):
+        with simple_program() as program:
+            with parallelize(2):
+                chunk(0, "in", 0).copy(1, "sc", 0)
+            chunk(0, "in", 0).copy(1, "sc", 1)
+        ops = program.dag.operations()
+        assert ops[0].parallel is not None
+        assert ops[0].parallel.instances == 2
+        assert ops[1].parallel is None
+
+    def test_nesting_rejected(self):
+        with simple_program():
+            with parallelize(2):
+                with pytest.raises(ProgramError, match="nest"):
+                    with parallelize(2):
+                        pass
+
+    def test_zero_factor_rejected(self):
+        with simple_program():
+            with pytest.raises(ProgramError):
+                with parallelize(0):
+                    pass
+
+    def test_outside_program_rejected(self):
+        with pytest.raises(ProgramError):
+            with parallelize(2):
+                pass
+
+
+class TestInPlacePrograms:
+    def test_input_alias_reads_output_storage(self):
+        coll = AllGather(2, chunk_factor=1, in_place=True)
+        with MSCCLProgram("t", coll):
+            ref = chunk(1, "in", 0)
+            assert ref.index == 1  # aliased to output[rank]
+
+    def test_input_buffer_absent_when_in_place(self):
+        coll = AllReduce(2, chunk_factor=1, in_place=True)
+        with MSCCLProgram("t", coll) as program:
+            from repro.core.buffers import Buffer
+            with pytest.raises(ProgramError, match="does not exist"):
+                program.buffer_state(0, Buffer.INPUT)
+
+    def test_bad_instances_rejected(self):
+        with pytest.raises(ProgramError):
+            MSCCLProgram("t", AllReduce(2, chunk_factor=1), instances=0)

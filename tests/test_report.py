@@ -1,0 +1,56 @@
+"""Tests for the evaluation report assembler."""
+
+from pathlib import Path
+
+from repro.analysis import build_report, collect_results, efficiency_audit
+from repro.tools.cli import main
+
+
+class TestCollect:
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert collect_results(tmp_path / "nope") == {}
+
+    def test_collects_txt_files(self, tmp_path):
+        (tmp_path / "fig8a.txt").write_text("table A\n")
+        (tmp_path / "extra.txt").write_text("table B\n")
+        tables = collect_results(tmp_path)
+        assert tables == {"fig8a": "table A", "extra": "table B"}
+
+
+class TestBuildReport:
+    def test_orders_known_sections_first(self, tmp_path):
+        (tmp_path / "zzz_custom.txt").write_text("custom\n")
+        (tmp_path / "fig8c.txt").write_text("c\n")
+        (tmp_path / "fig8a.txt").write_text("a\n")
+        report = build_report(tmp_path, include_audit=False)
+        a = report.index("## fig8a")
+        c = report.index("## fig8c")
+        z = report.index("## zzz_custom")
+        assert a < c < z
+
+    def test_empty_results_notes_how_to_generate(self, tmp_path):
+        report = build_report(tmp_path, include_audit=False)
+        assert "pytest benchmarks/" in report
+
+    def test_audit_included_when_requested(self, tmp_path):
+        report = build_report(tmp_path, include_audit=True)
+        assert "Efficiency audit" in report
+        assert "%" in report
+
+
+class TestEfficiencyAudit:
+    def test_bandwidth_bound_sizes_are_efficient(self):
+        table = efficiency_audit(sizes=[128 * 1024 * 1024])
+        # The tuned ring should be close to the floor at 128MB.
+        percent = int(table.rsplit("|", 2)[-2].strip().rstrip("%"))
+        assert percent >= 80
+
+
+class TestCliReport:
+    def test_report_subcommand(self, tmp_path, capsys):
+        (tmp_path / "fig8a.txt").write_text("hello table\n")
+        assert main(["report", "--results", str(tmp_path),
+                     "--no-audit"]) == 0
+        out = capsys.readouterr().out
+        assert "hello table" in out
+        assert "evaluation report" in out

@@ -1,0 +1,135 @@
+"""Tests for Broadcast/Reduce/Gather/Scatter collectives and their
+chain/tree algorithm implementations."""
+
+import pytest
+
+from repro.algorithms import (
+    chain_broadcast,
+    chain_reduce,
+    tree_broadcast,
+    tree_reduce,
+)
+from repro.core import (
+    Broadcast,
+    CompilerOptions,
+    Gather,
+    InputChunk,
+    MSCCLProgram,
+    ProgramError,
+    Reduce,
+    Scatter,
+    UninitializedChunkError,
+    chunk,
+    compile_program,
+)
+from repro.core.chunk import allreduce_result
+from repro.runtime import IrExecutor
+
+
+class TestBroadcastCollective:
+    def test_only_root_has_input_data(self):
+        coll = Broadcast(4, chunk_factor=2, root=1)
+        assert coll.precondition(1) == {
+            0: InputChunk(1, 0), 1: InputChunk(1, 1)
+        }
+        assert coll.precondition(0) == {}
+
+    def test_postcondition_references_root(self):
+        coll = Broadcast(4, chunk_factor=1, root=2)
+        for rank in range(4):
+            assert coll.postcondition(rank) == {0: InputChunk(2, 0)}
+
+    def test_nonroot_input_is_uninitialized(self):
+        coll = Broadcast(2, chunk_factor=1, root=0)
+        with MSCCLProgram("t", coll):
+            with pytest.raises(UninitializedChunkError):
+                chunk(1, "in", 0)
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(ProgramError):
+            Broadcast(4, root=4)
+
+
+class TestReduceCollective:
+    def test_only_root_output_constrained(self):
+        coll = Reduce(3, chunk_factor=1, root=1)
+        assert coll.postcondition(0) == {}
+        assert coll.postcondition(1) == {0: allreduce_result(3, 0)}
+
+
+class TestGatherScatter:
+    def test_gather_sizes_and_postcondition(self):
+        coll = Gather(3, chunk_factor=2, root=0)
+        assert coll.input_chunks(1) == 2
+        assert coll.output_chunks(0) == 6
+        post = coll.postcondition(0)
+        assert post[3] == InputChunk(1, 1)
+        assert coll.postcondition(2) == {}
+
+    def test_scatter_sizes_and_postcondition(self):
+        coll = Scatter(3, chunk_factor=2, root=1)
+        assert coll.input_chunks(0) == 6
+        assert coll.precondition(0) == {}
+        assert len(coll.precondition(1)) == 6
+        assert coll.postcondition(2) == {
+            0: InputChunk(1, 4), 1: InputChunk(1, 5)
+        }
+
+    def test_gather_scatter_roundtrip_program(self):
+        """Scatter from root then gather back: verified end to end."""
+        coll = Scatter(3, chunk_factor=1, root=0)
+        with MSCCLProgram("scatter", coll) as program:
+            for rank in range(3):
+                chunk(0, "in", rank).copy(rank, "out", 0)
+        ir = compile_program(program)
+        IrExecutor(ir, coll).run_and_check()
+
+
+@pytest.mark.parametrize("builder,ranks,root", [
+    (chain_broadcast, 6, 0),
+    (chain_broadcast, 5, 3),
+    (tree_broadcast, 8, 0),
+    (tree_broadcast, 7, 2),
+    (chain_reduce, 6, 0),
+    (chain_reduce, 5, 4),
+    (tree_reduce, 8, 0),
+    (tree_reduce, 6, 1),
+])
+def test_rooted_algorithms_verify(builder, ranks, root):
+    program = builder(ranks, root=root)
+    ir = compile_program(program, CompilerOptions())
+    IrExecutor(ir, program.collective).run_and_check()
+
+
+class TestAlgorithmShape:
+    def test_tree_broadcast_is_log_depth(self):
+        program = tree_broadcast(8)
+        ir = compile_program(program)
+        max_steps = max(
+            sum(len(tb.instructions) for tb in gpu.threadblocks)
+            for gpu in ir.gpus
+        )
+        assert max_steps <= 3  # root sends to 2 children, others <= 3 ops
+
+    def test_chain_broadcast_pipelines_chunks(self):
+        """Chunked chain: interior ranks forward via fused rcs."""
+        from repro.core import Op
+
+        program = chain_broadcast(4, chunk_factor=4)
+        ir = compile_program(program)
+        histogram = ir.op_histogram()
+        assert histogram.get(Op.RECV_COPY_SEND.value, 0) >= 8
+
+    def test_tree_faster_than_chain_small_tree_slower_large(self):
+        from repro.analysis import ir_timer
+        from repro.topology import ndv4
+
+        topology = ndv4(1)
+        chain_ir = compile_program(chain_broadcast(8, chunk_factor=8))
+        tree_ir = compile_program(tree_broadcast(8, chunk_factor=1))
+        chain_coll = chain_broadcast(8, chunk_factor=8).collective
+        tree_coll = tree_broadcast(8, chunk_factor=1).collective
+        chain = ir_timer(chain_ir, topology, chain_coll)
+        tree = ir_timer(tree_ir, ndv4(1), tree_coll)
+        assert tree(4 * 1024) < chain(4 * 1024)  # latency-bound
+        assert chain(64 * 1024 * 1024) < tree(64 * 1024 * 1024)

@@ -1,0 +1,220 @@
+"""Tests for channel assignment, thread block assignment, and cross-TB
+dependency insertion."""
+
+import pytest
+
+from repro.core import (
+    AllReduce,
+    CompilerOptions,
+    MSCCLProgram,
+    Op,
+    SchedulingError,
+    chunk,
+    compile_program,
+    parallelize,
+)
+from tests.conftest import build_ring_allreduce
+
+
+def compiled(body, num_ranks=4, chunk_factor=2, instances=1, **opts):
+    opts.setdefault("verify", False)  # toy routings, not real collectives
+    coll = AllReduce(num_ranks, chunk_factor=chunk_factor)
+    with MSCCLProgram("t", coll, instances=instances) as program:
+        body()
+    return compile_program(program, CompilerOptions(**opts))
+
+
+class TestThreadBlockInvariants:
+    def _check_invariants(self, ir):
+        for gpu in ir.gpus:
+            send_conns = set()
+            recv_conns = set()
+            for tb in gpu.threadblocks:
+                if tb.send_peer is not None:
+                    conn = (tb.send_peer, tb.channel)
+                    assert conn not in send_conns, (
+                        "two thread blocks own one send connection"
+                    )
+                    send_conns.add(conn)
+                if tb.recv_peer is not None:
+                    conn = (tb.recv_peer, tb.channel)
+                    assert conn not in recv_conns
+                    recv_conns.add(conn)
+                for instr in tb.instructions:
+                    if instr.op in (Op.SEND, Op.RECV_COPY_SEND,
+                                    Op.RECV_REDUCE_COPY_SEND,
+                                    Op.RECV_REDUCE_SEND):
+                        assert tb.send_peer is not None
+                    if instr.op in (Op.RECV, Op.RECV_REDUCE_COPY,
+                                    Op.RECV_COPY_SEND,
+                                    Op.RECV_REDUCE_COPY_SEND,
+                                    Op.RECV_REDUCE_SEND):
+                        assert tb.recv_peer is not None
+
+    def test_ring_invariants(self, ring4_ir):
+        self._check_invariants(ring4_ir)
+
+    def test_multi_instance_invariants(self):
+        program = build_ring_allreduce(4, instances=3, channels=2)
+        ir = compile_program(program)
+        self._check_invariants(ir)
+
+    def test_steps_are_sequential(self, ring4_ir):
+        for gpu in ring4_ir.gpus:
+            for tb in gpu.threadblocks:
+                assert [i.step for i in tb.instructions] == list(
+                    range(len(tb.instructions))
+                )
+
+
+class TestChannelAssignment:
+    def test_default_single_channel(self, ring4_ir):
+        assert ring4_ir.channels_used() == 1
+
+    def test_directives_separate_channels(self):
+        def body():
+            chunk(0, "in", 0).copy(1, "sc", 0, ch=0)
+            chunk(0, "in", 1).copy(1, "sc", 1, ch=1)
+
+        ir = compiled(body)
+        channels = {tb.channel for g in ir.gpus for tb in g.threadblocks}
+        assert len(channels) == 2
+
+    def test_parallel_instances_get_disjoint_channels(self):
+        def body():
+            with parallelize(3):
+                chunk(0, "in", 0).copy(1, "sc", 0)
+
+        ir = compiled(body)
+        assert ir.channels_used() == 3
+
+    def test_program_instances_get_disjoint_channels(self):
+        program = build_ring_allreduce(4, instances=4)
+        ir = compile_program(program)
+        assert ir.channels_used() == 4
+
+    def test_fused_chain_shares_one_channel(self):
+        def body():
+            c = chunk(0, "in", 0)
+            for rank in (1, 2, 3):
+                c = c.copy(rank, "sc", 0)
+
+        ir = compiled(body)
+        assert ir.channels_used() == 1
+
+    def test_conflicting_pairings_probe_new_channels(self):
+        """Two fused chains through rank 1 with the same send peer but
+        different recv peers cannot share (send, recv) on one thread
+        block; the scheduler must separate their channels."""
+
+        def body():
+            a = chunk(0, "in", 0).copy(1, "sc", 0)
+            a.copy(3, "sc", 0)
+            b = chunk(2, "in", 0).copy(1, "sc", 1)
+            b.copy(3, "sc", 1)
+
+        ir = compiled(body)
+        rank1 = ir.gpus[1]
+        fused = [
+            tb for tb in rank1.threadblocks
+            if tb.send_peer is not None and tb.recv_peer is not None
+        ]
+        pairings = {(tb.recv_peer, tb.send_peer, tb.channel)
+                    for tb in fused}
+        assert len(pairings) == 2
+        channels = {tb.channel for tb in fused}
+        assert len(channels) == 2
+
+
+class TestLocalOpPlacement:
+    def test_local_ops_get_a_thread_block(self):
+        def body():
+            chunk(0, "in", 0).copy(0, "sc", 0)
+
+        ir = compiled(body)
+        gpu0 = ir.gpus[0]
+        assert sum(len(tb.instructions) for tb in gpu0.threadblocks) == 1
+
+    def test_local_ops_balance_across_blocks(self):
+        def body():
+            chunk(0, "in", 0).copy(1, "sc", 0, ch=0)
+            chunk(0, "in", 1).copy(1, "sc", 1, ch=1)
+            chunk(1, "sc", 0).copy(1, "sc", 2)
+            chunk(1, "sc", 1).copy(1, "sc", 3)
+
+        ir = compiled(body)
+        gpu1 = ir.gpus[1]
+        local_hosts = [
+            tb.tb_id for tb in gpu1.threadblocks
+            for i in tb.instructions if i.op is Op.COPY
+        ]
+        assert len(set(local_hosts)) == 2  # spread, not piled on one
+
+
+class TestSmLimit:
+    def test_within_limit_passes(self):
+        program = build_ring_allreduce(4, instances=2)
+        compile_program(program, CompilerOptions(max_threadblocks=4))
+
+    def test_exceeding_limit_raises(self):
+        program = build_ring_allreduce(4, instances=8)
+        with pytest.raises(SchedulingError, match="thread blocks"):
+            compile_program(program, CompilerOptions(max_threadblocks=4))
+
+
+class TestCrossTbDeps:
+    def test_phase_boundary_emits_dep(self):
+        """An op whose input was produced on another thread block of the
+        same rank must carry a dep entry."""
+
+        def body():
+            staged = chunk(0, "in", 0).copy(1, "sc", 0, ch=0)
+            chunk(1, "sc", 0).copy(2, "sc", 0, ch=1)
+
+        ir = compiled(body)
+        deps = [
+            (gpu.rank, instr.depends)
+            for gpu in ir.gpus
+            for tb in gpu.threadblocks
+            for instr in tb.instructions
+            if instr.depends
+        ]
+        assert deps, "expected at least one cross-TB dependency"
+        rank, depends = deps[0]
+        assert rank == 1
+
+    def test_has_dep_flag_set_on_producer(self):
+        def body():
+            chunk(0, "in", 0).copy(1, "sc", 0, ch=0)
+            chunk(1, "sc", 0).copy(2, "sc", 0, ch=1)
+
+        ir = compiled(body)
+        flagged = [
+            instr
+            for gpu in ir.gpus
+            for tb in gpu.threadblocks
+            for instr in tb.instructions
+            if instr.has_dep
+        ]
+        assert flagged
+
+    def test_same_tb_deps_are_implicit(self, ring4_ir):
+        """The plain ring schedules each rank onto one thread block, so
+        no explicit dep entries should appear."""
+        for gpu in ring4_ir.gpus:
+            for tb in gpu.threadblocks:
+                for instr in tb.instructions:
+                    assert not instr.depends
+
+    def test_dep_points_to_earlier_step(self):
+        program = build_ring_allreduce(6, channels=2)
+        ir = compile_program(program)
+        for gpu in ir.gpus:
+            lengths = {
+                tb.tb_id: len(tb.instructions) for tb in gpu.threadblocks
+            }
+            for tb in gpu.threadblocks:
+                for instr in tb.instructions:
+                    for dep_tb, dep_step in instr.depends:
+                        assert dep_tb in lengths
+                        assert 0 <= dep_step < lengths[dep_tb]

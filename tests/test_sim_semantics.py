@@ -1,0 +1,312 @@
+"""Deterministic timing-semantics tests for the interpreter.
+
+These pin the cost model analytically on hand-built IRs: a single
+transfer costs exactly alpha + payload/bottleneck (+ fixed overheads);
+same-connection messages serialize on the wire; slot back-pressure
+stalls senders; cross-node senders detach after staging; fused chains
+stream cut-through. If a refactor changes any pricing rule, these fail
+with numbers instead of vibes.
+"""
+
+import pytest
+
+from repro.core import Buffer, Op
+from repro.core.ir import GpuProgram, IrInstruction, MscclIr, ThreadBlock
+from repro.runtime import IrSimulator, SimConfig
+from repro.runtime.protocols import Protocol
+from repro.topology import MachineSpec, Topology
+
+# A machine with round numbers: NVLink 100 GB/s (= 0.1 MB/us), thread
+# block engine 10 GB/s, NIC 10 GB/s, zero launch cost.
+SPEC = MachineSpec(
+    name="unit",
+    gpus_per_node=4,
+    sm_count=64,
+    nvlink_bandwidth=100.0,
+    nvlink_alpha=1.0,
+    ib_bandwidth=10.0,
+    ib_alpha=5.0,
+    gpus_per_nic=1,
+    ib_message_overhead=0.0,
+    threadblock_bandwidth=10.0,
+    reduce_bandwidth=10.0,
+    kernel_launch_overhead=0.0,
+)
+
+PROTO = Protocol(name="unit", slot_bytes=1 << 30, num_slots=2,
+                 bandwidth_efficiency=1.0, alpha_overhead=0.0)
+
+CONFIG = SimConfig(max_tiles=1, instruction_overhead=0.0,
+                   semaphore_overhead=0.0, include_launch=False)
+
+NBYTES = 100_000  # 100 KB: 10us at 10 GB/s, 1us at 100 GB/s
+
+
+def build_ir(num_ranks, tb_specs, chunks=4):
+    """IR from {(rank, tb): (send, recv, channel, [(op, recv_seq)])}."""
+    ir = MscclIr(name="unit", collective="custom", protocol="unit",
+                 num_ranks=num_ranks, in_place=False)
+    for rank in range(num_ranks):
+        gpu = GpuProgram(rank=rank, input_chunks=chunks,
+                         output_chunks=chunks, scratch_chunks=0)
+        for (r, tb_id), (send, recv, channel, ops) in sorted(
+                tb_specs.items()):
+            if r != rank:
+                continue
+            tb = ThreadBlock(tb_id=tb_id, send_peer=send, recv_peer=recv,
+                             channel=channel)
+            for step, (op, seq) in enumerate(ops):
+                tb.instructions.append(IrInstruction(
+                    step=step, op=op,
+                    src=(Buffer.INPUT, 0, 1), dst=(Buffer.INPUT, 0, 1),
+                    recv_seq=seq,
+                ))
+            gpu.threadblocks.append(tb)
+        ir.gpus.append(gpu)
+    return ir
+
+
+ONE_GPU_SPEC = MachineSpec(
+    name="unit1", gpus_per_node=1, sm_count=64,
+    nvlink_bandwidth=100.0, nvlink_alpha=1.0,
+    ib_bandwidth=10.0, ib_alpha=5.0, gpus_per_nic=1,
+    ib_message_overhead=0.0,
+    threadblock_bandwidth=10.0, reduce_bandwidth=10.0,
+    kernel_launch_overhead=0.0,
+)
+
+
+def simulate(ir, num_nodes=1, config=CONFIG):
+    if num_nodes > 1:
+        topology = Topology(ONE_GPU_SPEC, ir.num_ranks)
+    else:
+        topology = Topology(SPEC, 1)
+        assert ir.num_ranks <= topology.num_ranks
+        # Trim: the simulator requires exact rank counts.
+        spec = MachineSpec(
+            name="unit", gpus_per_node=ir.num_ranks, sm_count=64,
+            nvlink_bandwidth=100.0, nvlink_alpha=1.0,
+            ib_bandwidth=10.0, ib_alpha=5.0, gpus_per_nic=1,
+            ib_message_overhead=0.0,
+            threadblock_bandwidth=10.0, reduce_bandwidth=10.0,
+            kernel_launch_overhead=0.0,
+        )
+        topology = Topology(spec, 1)
+    simulator = IrSimulator(ir, topology, protocol=PROTO, config=config)
+    return simulator.run(chunk_bytes=NBYTES)
+
+
+class TestSingleTransfer:
+    def test_intra_node_send_recv_price(self):
+        """Unfused send: engine pass (10us) runs concurrently with the
+        wire (1us) -> bottleneck 10us; + alpha 1; recv consume another
+        10us engine pass overlapping arrival tail."""
+        ir = build_ir(2, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)]),
+            (1, 0): (None, 0, 0, [(Op.RECV, 0)]),
+        })
+        result = simulate(ir)
+        # send: max(engine 10, wire 1) = 10; first byte at 1us (alpha);
+        # consume engine starts at 1us, 10us -> 11; data_ready =
+        # max(11, last_byte 10+1=11) = 11.
+        assert result.time_us == pytest.approx(11.0)
+
+    def test_alpha_added_once_per_hop(self):
+        ir = build_ir(2, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)]),
+            (1, 0): (None, 0, 0, [(Op.RECV, 0)]),
+        })
+        spec_alpha = SPEC.nvlink_alpha
+        base = simulate(ir).time_us
+        # Doubling the protocol's alpha overhead adds exactly 1 us more
+        # (the added overhead appears once in first/last byte times).
+        slow_proto = Protocol(name="u2", slot_bytes=1 << 30, num_slots=2,
+                              bandwidth_efficiency=1.0,
+                              alpha_overhead=spec_alpha)
+        topology = Topology(MachineSpec(
+            name="unit", gpus_per_node=2, sm_count=64,
+            nvlink_bandwidth=100.0, nvlink_alpha=1.0,
+            ib_bandwidth=10.0, ib_alpha=5.0, gpus_per_nic=1,
+            ib_message_overhead=0.0,
+            threadblock_bandwidth=10.0, reduce_bandwidth=10.0,
+            kernel_launch_overhead=0.0,
+        ), 1)
+        slow = IrSimulator(ir, topology, protocol=slow_proto,
+                           config=CONFIG).run(chunk_bytes=NBYTES).time_us
+        assert slow - base == pytest.approx(spec_alpha)
+
+    def test_cross_node_sender_detaches(self):
+        """IB sends release the thread block after the staging pass; the
+        NIC transfer (10us at 10 GB/s) proceeds asynchronously."""
+        ir = build_ir(2, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)]),
+            (1, 0): (None, 0, 0, [(Op.RECV, 0)]),
+        })
+        result = simulate(ir, num_nodes=2)
+        # staging 10us; wire 10us from t0; last_byte = 10 + 5 = 15;
+        # consume starts at first byte 5, engine 10 -> 15.
+        assert result.time_us == pytest.approx(15.0)
+
+
+class TestSerialization:
+    def test_same_connection_messages_pipeline(self):
+        """Two sends through one NVLink: the sender's engine serializes
+        them (10+10), but the receiver's consume of message 1 overlaps
+        the production of message 2 — classic two-stage pipeline:
+        produce1 [0..10], consume1 [1..11], produce2 [10..20],
+        consume2 [11..21]."""
+        ir = build_ir(2, {
+            (0, 0): (1, None, 0, [(Op.SEND, None), (Op.SEND, None)]),
+            (1, 0): (None, 0, 0, [(Op.RECV, 0), (Op.RECV, 1)]),
+        })
+        result = simulate(ir)
+        assert result.time_us == pytest.approx(21.0)
+
+    def test_parallel_connections_overlap(self):
+        """The same two transfers on different target ranks proceed in
+        parallel (separate engines, separate links)."""
+        ir = build_ir(3, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)]),
+            (0, 1): (2, None, 0, [(Op.SEND, None)]),
+            (1, 0): (None, 0, 0, [(Op.RECV, 0)]),
+            (2, 0): (None, 0, 0, [(Op.RECV, 0)]),
+        })
+        result = simulate(ir)
+        assert result.time_us == pytest.approx(11.0)
+
+    def test_shared_egress_link_contends(self):
+        """Same two transfers, but the wire is the bottleneck: shrink
+        the engine's share by using a fat engine via fused ops? Simpler:
+        verify the nvlink_out resource accumulated both payloads."""
+        ir = build_ir(3, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)]),
+            (0, 1): (2, None, 0, [(Op.SEND, None)]),
+            (1, 0): (None, 0, 0, [(Op.RECV, 0)]),
+            (2, 0): (None, 0, 0, [(Op.RECV, 0)]),
+        })
+        result = simulate(ir)
+        assert result.resource_busy_us["nvlink_out[0]"] == pytest.approx(
+            2 * NBYTES / 100e3
+        )
+
+
+class TestSlotBackpressure:
+    def test_sender_stalls_when_slots_full(self):
+        """Three sends, two slots, and a receiver that only drains after
+        its own slow local work: the third send must wait."""
+        ir = build_ir(2, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)] * 3),
+            (1, 0): (None, 0, 0, [
+                (Op.COPY, None),  # 10us of local work first
+                (Op.RECV, 0), (Op.RECV, 1), (Op.RECV, 2),
+            ]),
+        })
+        result = simulate(ir)
+        # Receiver: copy 10, then three consumes of 10 -> 40+.
+        # Sender: sends 1,2 fill slots by 20; send 3 waits for recv 0's
+        # drain (at ~21) before its engine pass.
+        assert result.time_us == pytest.approx(41.0, abs=1.0)
+
+    def test_more_slots_remove_the_stall(self):
+        ir = build_ir(2, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)] * 3),
+            (1, 0): (None, 0, 0, [
+                (Op.COPY, None),
+                (Op.RECV, 0), (Op.RECV, 1), (Op.RECV, 2),
+            ]),
+        })
+        wide = Protocol(name="u8", slot_bytes=1 << 30, num_slots=8,
+                        bandwidth_efficiency=1.0, alpha_overhead=0.0)
+        topology = Topology(SPEC, 1)
+        narrow_time = simulate(ir).time_us
+        topology2 = Topology(MachineSpec(
+            name="unit", gpus_per_node=2, sm_count=64,
+            nvlink_bandwidth=100.0, nvlink_alpha=1.0,
+            ib_bandwidth=10.0, ib_alpha=5.0, gpus_per_nic=1,
+            ib_message_overhead=0.0,
+            threadblock_bandwidth=10.0, reduce_bandwidth=10.0,
+            kernel_launch_overhead=0.0,
+        ), 1)
+        wide_time = IrSimulator(ir, topology2, protocol=wide,
+                                config=CONFIG).run(
+            chunk_bytes=NBYTES).time_us
+        assert wide_time <= narrow_time
+
+
+class TestCutThrough:
+    def test_fused_chain_adds_only_alpha_per_hop(self):
+        """send -> rcs -> recv across 3 ranks: the middle hop forwards
+        from registers, so the chain costs ~one payload + 2 alphas, not
+        two payloads."""
+        ir = build_ir(3, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)]),
+            (1, 0): (2, 0, 0, [(Op.RECV_COPY_SEND, 0)]),
+            (2, 0): (None, 1, 0, [(Op.RECV, 0)]),
+        })
+        result = simulate(ir)
+        # hop1: engine 10 / wire 1, first byte at 1. rcs consume 10
+        # starting at 1 (data_ready 11) and its forward streams from 1:
+        # second first-byte ~2; final consume 10 from 2 -> ~12-13.
+        assert result.time_us < 16.0
+
+    def test_unfused_relay_pays_extra_pass(self):
+        """The same route with recv-then-send (no fusion) costs a full
+        extra memory pass at the relay."""
+        ir = build_ir(3, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)]),
+            (1, 0): (2, 0, 0, [(Op.RECV, 0), (Op.SEND, None)]),
+            (2, 0): (None, 1, 0, [(Op.RECV, 0)]),
+        })
+        fused_ir = build_ir(3, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)]),
+            (1, 0): (2, 0, 0, [(Op.RECV_COPY_SEND, 0)]),
+            (2, 0): (None, 1, 0, [(Op.RECV, 0)]),
+        })
+        assert simulate(ir).time_us > simulate(fused_ir).time_us + 5.0
+
+
+class TestTiling:
+    def test_tiles_multiply_instruction_occurrences(self):
+        ir = build_ir(2, {
+            (0, 0): (1, None, 0, [(Op.SEND, None)]),
+            (1, 0): (None, 0, 0, [(Op.RECV, 0)]),
+        })
+        proto = Protocol(name="tiny", slot_bytes=NBYTES // 4,
+                         num_slots=8, bandwidth_efficiency=1.0,
+                         alpha_overhead=0.0)
+        topology = Topology(MachineSpec(
+            name="unit", gpus_per_node=2, sm_count=64,
+            nvlink_bandwidth=100.0, nvlink_alpha=1.0,
+            ib_bandwidth=10.0, ib_alpha=5.0, gpus_per_nic=1,
+            ib_message_overhead=0.0,
+            threadblock_bandwidth=10.0, reduce_bandwidth=10.0,
+            kernel_launch_overhead=0.0,
+        ), 1)
+        config = SimConfig(max_tiles=16, instruction_overhead=0.0,
+                           semaphore_overhead=0.0, include_launch=False,
+                           collect_trace=True)
+        result = IrSimulator(ir, topology, protocol=proto,
+                             config=config).run(chunk_bytes=NBYTES)
+        assert result.tiles == 4
+        assert len(result.trace) == 2 * 4
+
+    def test_recv_seq_matches_across_tiles(self):
+        """Out-of-program-order receives still pair correctly per tile:
+        the receiver drains message 1 before message 0."""
+        ir = build_ir(2, {
+            (0, 0): (1, None, 0, [(Op.SEND, None), (Op.SEND, None)]),
+            (1, 0): (None, 0, 0, [(Op.RECV, 1), (Op.RECV, 0)]),
+        })
+        proto = Protocol(name="t2", slot_bytes=NBYTES // 2, num_slots=8,
+                         bandwidth_efficiency=1.0, alpha_overhead=0.0)
+        topology = Topology(MachineSpec(
+            name="unit", gpus_per_node=2, sm_count=64,
+            nvlink_bandwidth=100.0, nvlink_alpha=1.0,
+            ib_bandwidth=10.0, ib_alpha=5.0, gpus_per_nic=1,
+            ib_message_overhead=0.0,
+            threadblock_bandwidth=10.0, reduce_bandwidth=10.0,
+            kernel_launch_overhead=0.0,
+        ), 1)
+        result = IrSimulator(ir, topology, protocol=proto,
+                             config=CONFIG).run(chunk_bytes=NBYTES)
+        assert result.time_us > 0  # completes without deadlock

@@ -1,0 +1,227 @@
+"""Tests for the discrete-event MSCCL-IR simulator."""
+
+import pytest
+
+from repro.core import CompilerOptions, compile_program
+from repro.core.errors import RuntimeConfigError, SimulationError
+from repro.runtime import (
+    LL,
+    LL128,
+    PROTOCOLS,
+    SIMPLE,
+    IrSimulator,
+    SimConfig,
+    get_protocol,
+)
+from repro.topology import dgx2, generic, ndv4
+from tests.conftest import build_ring_allreduce
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def ring8_ir():
+    return compile_program(build_ring_allreduce(8), CompilerOptions())
+
+
+class TestProtocols:
+    def test_lookup_case_insensitive(self):
+        assert get_protocol("ll128") is LL128
+        assert get_protocol("SIMPLE") is SIMPLE
+        assert get_protocol(LL) is LL
+
+    def test_unknown_protocol(self):
+        with pytest.raises(RuntimeConfigError, match="unknown protocol"):
+            get_protocol("warp")
+
+    def test_tradeoffs_encoded(self):
+        assert LL.alpha_overhead < LL128.alpha_overhead
+        assert LL128.alpha_overhead < SIMPLE.alpha_overhead
+        assert LL.bandwidth_efficiency < LL128.bandwidth_efficiency
+        assert LL128.bandwidth_efficiency < SIMPLE.bandwidth_efficiency
+        assert set(PROTOCOLS) == {
+            "Simple", "LL", "LL128", "Simple-Direct"
+        }
+
+    def test_simple_direct_is_direct_copy(self):
+        from repro.runtime import SIMPLE_DIRECT
+
+        assert SIMPLE_DIRECT.direct_copy
+        assert not SIMPLE.direct_copy
+        assert SIMPLE_DIRECT.alpha_overhead < SIMPLE.alpha_overhead
+
+
+class TestBasicRuns:
+    def test_time_is_positive_and_finite(self, ring8_ir):
+        result = IrSimulator(ring8_ir, ndv4(1)).run(chunk_bytes=64 * KiB)
+        assert 0 < result.time_us < 1e7
+
+    def test_more_data_takes_longer(self, ring8_ir):
+        sim = IrSimulator(ring8_ir, ndv4(1))
+        small = sim.run(chunk_bytes=64 * KiB).time_us
+        large = sim.run(chunk_bytes=64 * MiB).time_us
+        assert large > small * 10
+
+    def test_deterministic(self, ring8_ir):
+        sim = IrSimulator(ring8_ir, ndv4(1))
+        assert sim.run(chunk_bytes=MiB).time_us == \
+            sim.run(chunk_bytes=MiB).time_us
+
+    def test_rank_count_mismatch_rejected(self, ring8_ir):
+        with pytest.raises(SimulationError, match="ranks"):
+            IrSimulator(ring8_ir, ndv4(2))
+
+    def test_zero_bytes_rejected(self, ring8_ir):
+        with pytest.raises(SimulationError):
+            IrSimulator(ring8_ir, ndv4(1)).run(chunk_bytes=0)
+
+    def test_launch_overhead_toggle(self, ring8_ir):
+        topo = ndv4(1)
+        with_launch = IrSimulator(
+            ring8_ir, topo, config=SimConfig(include_launch=True)
+        ).run(chunk_bytes=KiB).time_us
+        without = IrSimulator(
+            ring8_ir, topo, config=SimConfig(include_launch=False)
+        ).run(chunk_bytes=KiB).time_us
+        delta = with_launch - without
+        assert delta == pytest.approx(
+            topo.machine.kernel_launch_overhead
+        )
+
+
+class TestProtocolEffects:
+    def test_ll_wins_small_simple_wins_large(self, ring8_ir):
+        topo = ndv4(1)
+        small = {
+            name: IrSimulator(ring8_ir, topo, protocol=name)
+            .run(chunk_bytes=KiB).time_us
+            for name in ("LL", "Simple")
+        }
+        assert small["LL"] < small["Simple"]
+        # At bandwidth-bound sizes the wire must be the bottleneck for
+        # protocol efficiency to show: parallelize enough to saturate.
+        wide_ir = compile_program(
+            build_ring_allreduce(8, instances=16), CompilerOptions()
+        )
+        large = {
+            name: IrSimulator(wide_ir, topo, protocol=name)
+            .run(chunk_bytes=64 * MiB).time_us
+            for name in ("LL", "Simple")
+        }
+        assert large["Simple"] < large["LL"]
+
+    def test_ll128_between(self, ring8_ir):
+        topo = ndv4(1)
+        times = {
+            name: IrSimulator(ring8_ir, topo, protocol=name)
+            .run(chunk_bytes=KiB).time_us
+            for name in ("LL", "LL128", "Simple")
+        }
+        assert times["LL"] < times["LL128"] < times["Simple"]
+
+
+class TestTiling:
+    def test_small_chunks_are_one_tile(self, ring8_ir):
+        result = IrSimulator(ring8_ir, ndv4(1)).run(chunk_bytes=KiB)
+        assert result.tiles == 1
+
+    def test_large_chunks_tile_up_to_cap(self, ring8_ir):
+        config = SimConfig(max_tiles=4)
+        result = IrSimulator(ring8_ir, ndv4(1), config=config).run(
+            chunk_bytes=64 * MiB
+        )
+        assert result.tiles == 4
+
+    def test_tile_count_respects_slot_size(self, ring8_ir):
+        result = IrSimulator(ring8_ir, ndv4(1)).run(
+            chunk_bytes=2 * SIMPLE.slot_bytes
+        )
+        assert result.tiles == 2
+
+
+class TestContention:
+    def test_shared_link_slower_than_private(self):
+        """Two concurrent flows into one GPU (incast) are slower than two
+        flows to different GPUs."""
+        from repro.core import AllToAll, MSCCLProgram, chunk
+
+        def build(dsts):
+            coll = AllToAll(4, chunk_factor=1)
+            with MSCCLProgram("flows", coll) as program:
+                for src, dst in dsts:
+                    chunk(src, "in", 0).copy(dst, "sc", src)
+            return compile_program(program, CompilerOptions(verify=False))
+
+        # Keep the link (10 GB/s) well below the thread block copy rate
+        # so the wire, not the engine, is the bottleneck.
+        topo = generic(4, 1, nvlink_bandwidth=10.0)
+        incast = IrSimulator(build([(0, 2), (1, 2)]), topo).run(
+            chunk_bytes=8 * MiB
+        ).time_us
+        topo2 = generic(4, 1, nvlink_bandwidth=10.0)
+        spread = IrSimulator(build([(0, 2), (1, 3)]), topo2).run(
+            chunk_bytes=8 * MiB
+        ).time_us
+        assert incast > spread * 1.3
+
+    def test_parallelization_increases_throughput(self):
+        """More instances beat one at bandwidth-bound sizes because a
+        single thread block cannot saturate the link."""
+        topo = ndv4(1)
+        times = {}
+        for instances in (1, 4):
+            ir = compile_program(
+                build_ring_allreduce(8, instances=instances),
+                CompilerOptions(),
+            )
+            times[instances] = IrSimulator(ir, topo).run(
+                chunk_bytes=8 * MiB
+            ).time_us
+        assert times[4] < times[1] * 0.5
+
+    def test_fusion_speeds_up_execution(self):
+        from repro.core import CompilerOptions as Opts
+
+        topo = ndv4(1)
+        fused_ir = compile_program(
+            build_ring_allreduce(8), Opts(instr_fusion=True)
+        )
+        unfused_ir = compile_program(
+            build_ring_allreduce(8), Opts(instr_fusion=False)
+        )
+        fused = IrSimulator(fused_ir, topo).run(chunk_bytes=4 * MiB).time_us
+        unfused = IrSimulator(unfused_ir, topo).run(
+            chunk_bytes=4 * MiB
+        ).time_us
+        assert fused < unfused
+
+
+class TestTrace:
+    def test_trace_disabled_by_default(self, ring8_ir):
+        result = IrSimulator(ring8_ir, ndv4(1)).run(chunk_bytes=KiB)
+        assert result.trace is None
+
+    def test_trace_rows_cover_all_instructions(self, ring8_ir):
+        config = SimConfig(collect_trace=True)
+        result = IrSimulator(ring8_ir, ndv4(1), config=config).run(
+            chunk_bytes=KiB
+        )
+        assert len(result.trace) == result.instruction_count * result.tiles
+        for row in result.trace:
+            assert row.end_us >= row.start_us >= 0
+
+    def test_resource_busy_reported(self, ring8_ir):
+        result = IrSimulator(ring8_ir, ndv4(1)).run(chunk_bytes=MiB)
+        nvlink_busy = [
+            busy for name, busy in result.resource_busy_us.items()
+            if name.startswith("nvlink")
+        ]
+        assert nvlink_busy and max(nvlink_busy) > 0
+
+    def test_algbw_helper(self, ring8_ir):
+        result = IrSimulator(ring8_ir, ndv4(1)).run(chunk_bytes=MiB)
+        assert result.algbw_gbps(8 * MiB) == pytest.approx(
+            8 * MiB / result.time_us / 1e3
+        )
+        assert result.time_s == pytest.approx(result.time_us * 1e-6)

@@ -1,0 +1,138 @@
+"""Tests for topology models, presets, and bandwidth resources."""
+
+import pytest
+
+from repro.core.errors import RuntimeConfigError
+from repro.topology import (
+    DGX2_V100,
+    NDV4_A100,
+    MachineSpec,
+    Resource,
+    Topology,
+    dgx1,
+    dgx2,
+    generic,
+    ndv4,
+)
+
+
+class TestRankGeometry:
+    def test_rank_node_mapping(self):
+        topo = ndv4(2)
+        assert topo.num_ranks == 16
+        assert topo.node_of(0) == 0
+        assert topo.node_of(8) == 1
+        assert topo.local_index(11) == 3
+        assert topo.rank_of(1, 3) == 11
+
+    def test_same_node(self):
+        topo = ndv4(2)
+        assert topo.same_node(0, 7)
+        assert not topo.same_node(7, 8)
+
+    def test_out_of_range_rank(self):
+        topo = ndv4(1)
+        with pytest.raises(RuntimeConfigError):
+            topo.node_of(8)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Topology(NDV4_A100, 0)
+
+
+class TestPresets:
+    def test_ndv4_shape(self):
+        topo = ndv4(1)
+        assert topo.machine.gpus_per_node == 8
+        assert topo.machine.nics_per_node == 8  # one NIC per GPU
+
+    def test_dgx2_shares_nics(self):
+        topo = dgx2(1)
+        assert topo.machine.gpus_per_node == 16
+        assert topo.machine.nics_per_node == 8  # one per GPU pair
+
+    def test_dgx1(self):
+        assert dgx1(1).num_ranks == 8
+
+    def test_generic_parameters(self):
+        topo = generic(4, 2, nvlink_bandwidth=123.0)
+        assert topo.num_ranks == 8
+        assert topo.machine.nvlink_bandwidth == 123.0
+
+
+class TestPaths:
+    def test_intra_node_path_uses_nvlink(self):
+        topo = ndv4(2)
+        resources, alpha, cross = topo.path(0, 1)
+        assert not cross
+        assert alpha == topo.machine.nvlink_alpha
+        names = [r.name for r in resources]
+        assert names == ["nvlink_out[0]", "nvlink_in[1]"]
+
+    def test_cross_node_path_uses_nics(self):
+        topo = ndv4(2)
+        resources, alpha, cross = topo.path(0, 8)
+        assert cross
+        assert alpha == topo.machine.ib_alpha
+        names = [r.name for r in resources]
+        assert names == ["nic_out[0,0]", "nic_in[1,0]"]
+
+    def test_nics_are_full_duplex(self):
+        topo = ndv4(2)
+        assert topo.nic_out(0) is not topo.nic_in(0)
+
+    def test_shared_nic_for_gpu_pairs(self):
+        topo = dgx2(2)
+        assert topo.nic_out(0) is topo.nic_out(1)
+        assert topo.nic_out(0) is not topo.nic_out(2)
+
+    def test_self_path_is_free(self):
+        topo = ndv4(1)
+        resources, alpha, cross = topo.path(3, 3)
+        assert resources == [] and alpha == 0 and not cross
+
+    def test_link_summaries(self):
+        topo = ndv4(2)
+        assert topo.link_bandwidth(0, 1) == topo.machine.nvlink_bandwidth
+        assert topo.link_bandwidth(0, 8) == topo.machine.ib_bandwidth
+        assert topo.link_alpha(0, 0) == 0
+
+
+class TestResource:
+    def test_fcfs_serialization(self):
+        res = Resource("r", bandwidth_gbps=1.0)  # 1000 bytes/us
+        first = res.reserve(0.0, 1000)
+        second = res.reserve(0.0, 1000)
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+    def test_idle_gap_respected(self):
+        res = Resource("r", bandwidth_gbps=1.0)
+        res.reserve(0.0, 1000)
+        late = res.reserve(10.0, 1000)
+        assert late == pytest.approx(11.0)
+
+    def test_efficiency_scales_duration(self):
+        res = Resource("r", bandwidth_gbps=1.0)
+        finish = res.reserve(0.0, 1000, efficiency=0.5)
+        assert finish == pytest.approx(2.0)
+
+    def test_busy_time_accumulates(self):
+        res = Resource("r", bandwidth_gbps=1.0)
+        res.reserve(0.0, 500)
+        res.reserve(100.0, 500)
+        assert res.busy_time == pytest.approx(1.0)
+
+    def test_reset(self):
+        topo = ndv4(1)
+        topo.nvlink_out(0).reserve(0.0, 1e6)
+        topo.reset_resources()
+        assert topo.nvlink_out(0).next_free == 0.0
+
+    def test_resources_are_cached(self):
+        topo = ndv4(1)
+        assert topo.nvlink_out(0) is topo.nvlink_out(0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Resource("bad", 0.0)

@@ -1,0 +1,173 @@
+"""Tests for postcondition checking and the IR deadlock audit."""
+
+import pytest
+
+from repro.core import (
+    AllGather,
+    AllReduce,
+    Buffer,
+    CompilerOptions,
+    DeadlockError,
+    MSCCLProgram,
+    Op,
+    VerificationError,
+    audit_ir,
+    check_postcondition,
+    chunk,
+    compile_program,
+)
+from repro.core.ir import GpuProgram, IrInstruction, MscclIr, ThreadBlock
+from tests.conftest import build_ring_allreduce
+
+
+class TestPostcondition:
+    def test_correct_ring_passes(self, ring4):
+        check_postcondition(ring4)
+
+    def test_incomplete_program_fails(self):
+        coll = AllGather(2, chunk_factor=1, in_place=True)
+        with MSCCLProgram("partial", coll) as program:
+            chunk(0, "in", 0).copy(1, "out", 0)
+            # rank 0 never receives rank 1's chunk
+        with pytest.raises(VerificationError, match="uninitialized"):
+            check_postcondition(program)
+
+    def test_wrong_value_fails(self):
+        coll = AllGather(2, chunk_factor=1, in_place=True)
+        with MSCCLProgram("wrong", coll) as program:
+            chunk(0, "in", 0).copy(1, "out", 0)
+            # Rank 0's output[1] gets rank 0's chunk instead of rank 1's.
+            chunk(0, "out", 0).copy(0, "out", 1)
+        with pytest.raises(VerificationError, match="expected"):
+            check_postcondition(program)
+
+    def test_partial_reduction_fails(self):
+        coll = AllReduce(3, chunk_factor=1, in_place=True)
+        with MSCCLProgram("partial_sum", coll) as program:
+            # Only two of three ranks contribute.
+            c = chunk(0, "in", 0)
+            c = chunk(1, "in", 0).reduce(c)
+            for dst in (0, 2):
+                c.copy(dst, "in", 0)
+        with pytest.raises(VerificationError):
+            check_postcondition(program)
+
+    def test_compile_rejects_incorrect_by_default(self):
+        coll = AllGather(2, chunk_factor=1, in_place=True)
+        with MSCCLProgram("partial", coll) as program:
+            chunk(0, "in", 0).copy(1, "out", 0)
+        with pytest.raises(VerificationError):
+            compile_program(program)
+        # ... unless verification is explicitly disabled.
+        compile_program(program, CompilerOptions(verify=False))
+
+
+def _hand_ir(tb_specs):
+    """Build a 2-rank IR from {(rank, tb_id): (send, recv, ops)} specs.
+
+    Receives are tagged with in-order sequence numbers per connection
+    (the natural pairing for these straight-line examples).
+    """
+    ir = MscclIr(name="hand", collective="custom", protocol="Simple",
+                 num_ranks=2, in_place=False)
+    recv_counters = {}
+    for rank in range(2):
+        gpu = GpuProgram(rank=rank, input_chunks=4, output_chunks=4,
+                         scratch_chunks=0)
+        for (r, tb_id), (send, recv, ops) in sorted(tb_specs.items()):
+            if r != rank:
+                continue
+            tb = ThreadBlock(tb_id=tb_id, send_peer=send, recv_peer=recv,
+                             channel=0)
+            for step, op in enumerate(ops):
+                recv_seq = None
+                if op in (Op.RECV, Op.RECV_REDUCE_COPY, Op.RECV_COPY_SEND,
+                          Op.RECV_REDUCE_COPY_SEND, Op.RECV_REDUCE_SEND):
+                    conn = (recv, rank, 0)
+                    recv_seq = recv_counters.get(conn, 0)
+                    recv_counters[conn] = recv_seq + 1
+                tb.instructions.append(IrInstruction(
+                    step=step, op=op,
+                    src=(Buffer.INPUT, 0, 1), dst=(Buffer.INPUT, 0, 1),
+                    recv_seq=recv_seq,
+                ))
+            gpu.threadblocks.append(tb)
+        ir.gpus.append(gpu)
+    return ir
+
+
+class TestAudit:
+    def test_compiled_programs_pass(self, ring4_ir):
+        audit_ir(ring4_ir, num_slots=8)
+        audit_ir(ring4_ir, num_slots=2)
+
+    def test_ring_needs_more_than_one_slot(self, ring4_ir):
+        """A ring pipeline with one FIFO slot per connection wedges:
+        the audit's slot back-pressure edges expose the cycle."""
+        with pytest.raises(DeadlockError):
+            audit_ir(ring4_ir, num_slots=1)
+
+    def test_mismatched_traffic_detected(self):
+        ir = _hand_ir({
+            (0, 0): (1, None, [Op.SEND, Op.SEND]),
+            (1, 0): (None, 0, [Op.RECV]),
+        })
+        with pytest.raises(DeadlockError, match="2 sends but 1"):
+            audit_ir(ir)
+
+    def test_recv_before_send_cycle_detected(self):
+        """Rank 0 receives before sending; rank 1 mirrors it: a classic
+        head-to-head deadlock."""
+        ir = _hand_ir({
+            (0, 0): (1, 1, [Op.RECV, Op.SEND]),
+            (1, 0): (0, 0, [Op.RECV, Op.SEND]),
+        })
+        with pytest.raises(DeadlockError, match="cycle"):
+            audit_ir(ir)
+
+    def test_opposite_order_is_fine(self):
+        ir = _hand_ir({
+            (0, 0): (1, 1, [Op.SEND, Op.RECV]),
+            (1, 0): (0, 0, [Op.SEND, Op.RECV]),
+        })
+        audit_ir(ir)
+
+    def test_slot_exhaustion_cycle(self):
+        """With one FIFO slot, two pipelined sends before the matching
+        receives deadlock; with two slots they are fine."""
+        ir = _hand_ir({
+            (0, 0): (1, 1, [Op.SEND, Op.SEND, Op.RECV, Op.RECV]),
+            (1, 0): (0, 0, [Op.SEND, Op.SEND, Op.RECV, Op.RECV]),
+        })
+        with pytest.raises(DeadlockError):
+            audit_ir(ir, num_slots=1)
+        audit_ir(ir, num_slots=2)
+
+    def test_send_without_peer_detected(self):
+        ir = _hand_ir({(0, 0): (None, None, [Op.SEND])})
+        with pytest.raises(DeadlockError, match="no send peer"):
+            audit_ir(ir)
+
+    def test_recv_without_peer_detected(self):
+        ir = _hand_ir({(0, 0): (None, None, [Op.RECV])})
+        with pytest.raises(DeadlockError, match="no recv peer"):
+            audit_ir(ir)
+
+    def test_bad_slot_count_rejected(self, ring4_ir):
+        with pytest.raises(ValueError):
+            audit_ir(ring4_ir, num_slots=0)
+
+    def test_cross_tb_dep_cycle_detected(self):
+        ir = _hand_ir({(0, 0): (None, None, []), (0, 1): (None, None, [])})
+        tb0 = ir.gpus[0].threadblocks[0]
+        tb1 = ir.gpus[0].threadblocks[1]
+        tb0.instructions.append(IrInstruction(
+            step=0, op=Op.COPY, src=(Buffer.INPUT, 0, 1),
+            dst=(Buffer.INPUT, 1, 1), depends=[(1, 0)],
+        ))
+        tb1.instructions.append(IrInstruction(
+            step=0, op=Op.COPY, src=(Buffer.INPUT, 1, 1),
+            dst=(Buffer.INPUT, 0, 1), depends=[(0, 0)],
+        ))
+        with pytest.raises(DeadlockError, match="cycle"):
+            audit_ir(ir)

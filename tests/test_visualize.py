@@ -1,0 +1,76 @@
+"""Tests for DOT exports and IR descriptions."""
+
+from repro.core import compile_program, fuse, lower
+from repro.core.visualize import (
+    chunk_dag_dot,
+    describe_ir,
+    instruction_dag_dot,
+    ir_dot,
+)
+from tests.conftest import build_ring_allreduce
+
+
+def _balanced(text: str) -> bool:
+    depth = 0
+    for char in text:
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+class TestChunkDagDot:
+    def test_contains_all_operations(self, ring4):
+        dot = chunk_dag_dot(ring4.dag)
+        assert dot.startswith("digraph")
+        assert _balanced(dot)
+        for op in ring4.dag.operations():
+            assert f"op{op.op_id}" in dot
+
+    def test_false_deps_dashed(self, ring4):
+        dot = chunk_dag_dot(ring4.dag)
+        assert "style=dashed" in dot
+
+    def test_start_nodes_dotted(self, ring4):
+        dot = chunk_dag_dot(ring4.dag)
+        assert "style=dotted" in dot
+
+
+class TestInstructionDagDot:
+    def test_comm_edges_colored(self, ring4):
+        idag = fuse(lower(ring4.dag))
+        dot = instruction_dag_dot(idag)
+        assert _balanced(dot)
+        assert "color=blue" in dot
+        assert dot.count("label=") >= len(idag)
+
+
+class TestIrDot:
+    def test_clusters_per_gpu_and_tb(self, ring4_ir):
+        dot = ir_dot(ring4_ir)
+        assert _balanced(dot)
+        for gpu in ring4_ir.gpus:
+            assert f"cluster_gpu{gpu.rank}" in dot
+
+    def test_cross_tb_deps_rendered(self):
+        program = build_ring_allreduce(6, channels=2)
+        ir = compile_program(program)
+        dot = ir_dot(ir)
+        has_deps = any(
+            instr.depends
+            for gpu in ir.gpus for tb in gpu.threadblocks
+            for instr in tb.instructions
+        )
+        assert ("color=red" in dot) == has_deps
+
+
+class TestDescribeIr:
+    def test_mentions_key_facts(self, ring4_ir):
+        text = describe_ir(ring4_ir)
+        assert "allreduce" in text
+        assert "ranks: 4" in text
+        assert "instructions: 28" in text
+        assert "channels: 1" in text
