@@ -23,7 +23,7 @@ from repro.analysis import (
     summary_lines,
 )
 from repro.core import CompilerOptions, compile_program
-from repro.core.ir import MscclIr
+from repro.core.compiler import CompiledAlgorithm
 from repro.core.program import MSCCLProgram
 from repro.topology.model import Topology
 
@@ -41,7 +41,8 @@ def sweep_sizes(start: int, end: int) -> Sequence[int]:
     return grid if FULL else grid[::2]
 
 
-def compile_on(topology: Topology, program: MSCCLProgram) -> MscclIr:
+def compile_on(topology: Topology,
+               program: MSCCLProgram) -> CompiledAlgorithm:
     """Compile with the machine's SM limit enforced."""
     return compile_program(
         program,

@@ -66,7 +66,7 @@ def main() -> None:
         base = nccl.allreduce_time(size).time_us
         print(f"  allreduce {format_size(size):>6s}: {ours:8.1f} us "
               f"(NCCL {base:8.1f} us, {base / ours:4.2f}x)")
-    print("\n" + comm.summary())
+    print("\n" + comm.summary_text())
 
 
 if __name__ == "__main__":

@@ -81,14 +81,16 @@ def main() -> None:
         "direct": compile_program(direct_shift(), options),
         "scattered": compile_program(scattered_shift(), options),
     }
-    for label, ir in programs.items():
-        IrExecutor(ir, shift_collective(GPUS)).run_and_check()
-        print(f"{label}: verified; {ir.instruction_count()} instructions, "
-              f"{ir.max_threadblocks_per_gpu()} thread blocks/GPU max")
+    for label, algo in programs.items():
+        IrExecutor(algo.ir, algo.collective).run_and_check()
+        print(f"{label}: verified; "
+              f"{algo.ir.instruction_count()} instructions, "
+              f"{algo.ir.max_threadblocks_per_gpu()} thread blocks/GPU "
+              "max")
 
     timers = {
-        label: ir_timer(ir, ndv4(NODES), shift_collective(GPUS))
-        for label, ir in programs.items()
+        label: ir_timer(algo.ir, ndv4(NODES), algo.collective)
+        for label, algo in programs.items()
     }
     print(f"\n{'size':>8s} {'direct':>10s} {'scattered':>10s} "
           f"{'speedup':>8s}")

@@ -31,17 +31,18 @@ def main() -> None:
         protocol="Simple",
         intra_parallel=4,  # parallelize(...) on the intra phases
     )
-    ir = compile_program(
+    algo = compile_program(
         program, CompilerOptions(max_threadblocks=topology.machine.sm_count)
     )
+    ir = algo.ir
     print(f"program: {program.name}")
     print(f"channels: {ir.channels_used()} "
           "(intra-RS, inter, intra-AG phases on separate channels)")
-    IrExecutor(ir, program.collective).run_and_check()
+    IrExecutor(ir, algo.collective).run_and_check()
     print("numeric check passed on all 16 ranks\n")
 
-    fused = ir_timer(ir, topology, program.collective)
-    sequential = ir_timer(ir, ndv4(NODES), program.collective,
+    fused = ir_timer(ir, topology, algo.collective)
+    sequential = ir_timer(ir, ndv4(NODES), algo.collective,
                           sim_config=SimConfig(max_tiles=1))
     composed = ComposedHierarchicalAllReduce(ndv4(NODES))
     nccl = NcclModel(ndv4(NODES))

@@ -42,9 +42,13 @@ def main() -> None:
     print(f"  opcode mix: {fused_hist}")
     print("  (rcs/rrcs/rrs keep intermediate chunks in registers)")
 
-    ir = compile_program(program)
+    algo = compile_program(program)
+    ir = algo.ir
     print(f"\n== Scheduled MSCCL-IR: {ir.threadblock_count()} thread "
           f"blocks, {ir.channels_used()} channels ==")
+    print("per-pass wall time:")
+    for name, row in algo.compile_summary.items():
+        print(f"  {name:<9s} {row['duration_us']:8.1f} us")
     xml = ir.to_xml()
     print("\n".join(xml.splitlines()[:24]))
     print("  ...")

@@ -43,15 +43,13 @@ def build_timers(topology):
         "allreduce": lambda n: nccl.allreduce_time(n).time_us,
         "alltoall": lambda n: nccl.alltoall_time(n).time_us,
     }
+    # CompiledAlgorithm carries its collective, so no need to retrace
+    # the programs just to recover the sizing information.
     optimized = {
-        "allreduce": ir_timer(
-            allreduce, ndv4(NODES),
-            hierarchical_allreduce(NODES, GPUS).collective,
-        ),
-        "alltoall": ir_timer(
-            alltoall, ndv4(NODES),
-            twostep_alltoall(NODES, GPUS).collective,
-        ),
+        "allreduce": ir_timer(allreduce.ir, ndv4(NODES),
+                              allreduce.collective),
+        "alltoall": ir_timer(alltoall.ir, ndv4(NODES),
+                             alltoall.collective),
     }
     return baseline, optimized
 

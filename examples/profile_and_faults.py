@@ -33,14 +33,13 @@ SIZE = 32 * MiB
 def main() -> None:
     topology = ndv4(NODES)
     program = alltonext(NODES, GPUS, instances=4, protocol="Simple")
-    ir = compile_program(
+    algo = compile_program(
         program, CompilerOptions(max_threadblocks=108)
     )
-    chunks = program.collective.sizing_chunks()
 
     result = IrSimulator(
-        ir, topology, config=SimConfig(collect_trace=True)
-    ).run(chunk_bytes=SIZE / chunks)
+        algo.ir, topology, config=SimConfig(collect_trace=True)
+    ).run(chunk_bytes=SIZE / algo.sizing_chunks())
     print(f"AllToNext, {SIZE >> 20}MB: {result.time_us:.1f} us\n")
 
     print("== five latest-finishing thread blocks ==")
@@ -73,11 +72,11 @@ def main() -> None:
         compiled = compile_program(
             prog, CompilerOptions(max_threadblocks=108)
         )
-        sizing = prog.collective.sizing_chunks()
-        healthy = IrSimulator(compiled, ndv4(NODES)).run(
+        sizing = compiled.sizing_chunks()
+        healthy = IrSimulator(compiled.ir, ndv4(NODES)).run(
             chunk_bytes=SIZE / sizing).time_us
         hurt = IrSimulator(
-            compiled, ndv4(NODES),
+            compiled.ir, ndv4(NODES),
             config=SimConfig(degradations=degraded),
         ).run(chunk_bytes=SIZE / sizing).time_us
         print(f"  {label:>22s}: {healthy:8.1f} -> {hurt:8.1f} us "

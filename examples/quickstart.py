@@ -47,15 +47,18 @@ def main() -> None:
     program = write_ring_allreduce()
     print(f"traced {len(program.dag.operations())} chunk operations")
 
-    ir = compile_program(program)  # verifies + audits by default
+    algo = compile_program(program)  # verifies + audits by default
+    ir = algo.ir
     print(
         f"compiled: {ir.instruction_count()} instructions on "
         f"{ir.threadblock_count()} thread blocks over "
         f"{ir.channels_used()} channels"
     )
     print(f"opcode mix: {ir.op_histogram()}")
+    for name, row in algo.compile_summary.items():
+        print(f"  pass {name:<9s} {row['duration_us']:8.1f} us")
 
-    IrExecutor(ir, program.collective).run_and_check()
+    IrExecutor(ir, algo.collective).run_and_check()
     print("numeric check: every output chunk equals the sum of all "
           "ranks' inputs")
 

@@ -35,8 +35,9 @@ def main() -> None:
 
     result = synthesize_allgather(topology, instances=2)
     options = CompilerOptions(max_threadblocks=80)
-    ir = compile_program(result.program, options)
-    IrExecutor(ir, result.program.collective).run_and_check()
+    algo = compile_program(result.program, options)
+    ir = algo.ir
+    IrExecutor(ir, algo.collective).run_and_check()
     print(f"\nsynthesized {len(result.trees)} trees; max edge load "
           f"{result.max_edge_load():.0f}; verified on data")
     print("tree for source GPU 0 (child <- parent):")
@@ -46,16 +47,15 @@ def main() -> None:
                   f"(width {topology.link_width(parent, child)})")
 
     contenders = {
-        "synthesized": ir_timer(ir, topology,
-                                result.program.collective),
+        "synthesized": ir_timer(ir, topology, algo.collective),
     }
     for label, program in [
         ("sccl (1,2,2)", sccl_allgather_122(8, instances=2)),
         ("ring", ring_allgather(8, channels=2, instances=2)),
     ]:
         compiled = compile_program(program, options)
-        contenders[label] = ir_timer(compiled, dgx1_mesh(),
-                                     program.collective)
+        contenders[label] = ir_timer(compiled.ir, dgx1_mesh(),
+                                     compiled.collective)
 
     print(f"\n{'size':>8s}" + "".join(
         f"{label:>14s}" for label in contenders) + "   (us)")

@@ -17,14 +17,19 @@ Quick start::
     coll = AllReduce(num_ranks=8, chunk_factor=8, in_place=True)
     with MSCCLProgram("my_allreduce", coll, protocol="LL") as prog:
         ...                       # chunk(...).copy/.reduce routing
-    ir = compile_program(prog)    # verified + deadlock-free MSCCL-IR
-    IrExecutor(ir, coll).run_and_check()          # numeric correctness
-    IrSimulator(ir, ndv4(1)).run(chunk_bytes=2**17)  # timing
+    algo = compile_program(prog)  # CompiledAlgorithm: IR + collective
+    IrExecutor(algo.ir, algo.collective).run_and_check()  # correctness
+    IrSimulator(algo.ir, ndv4(1)).run(chunk_bytes=2**17)  # timing
+
+End-to-end tracing (compiler passes + simulated instructions) lives in
+:mod:`repro.observe`; see docs/observability.md and ``repro-tools
+trace``.
 """
 
-from . import algorithms, analysis, baselines, core, nccl, runtime, synth, topology
+from . import (algorithms, analysis, baselines, core, nccl, observe,
+               runtime, synth, topology)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "algorithms",
@@ -32,6 +37,7 @@ __all__ = [
     "baselines",
     "core",
     "nccl",
+    "observe",
     "runtime",
     "synth",
     "topology",

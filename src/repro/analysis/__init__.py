@@ -16,7 +16,8 @@ from .bounds import (
     efficiency,
     reducescatter_bound,
 )
-from .report import build_report, collect_results, efficiency_audit
+from .report import (build_report, collect_metrics, collect_results,
+                     efficiency_audit, metrics_markdown)
 from .end_to_end import (
     CollectiveCall,
     WorkloadModel,
@@ -47,6 +48,8 @@ __all__ = [
     "alltoall_bound",
     "bound_for",
     "build_report",
+    "collect_metrics",
+    "metrics_markdown",
     "collect_results",
     "efficiency_audit",
     "build_registry",

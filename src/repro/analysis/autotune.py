@@ -53,6 +53,9 @@ class TuningResult:
     times: Dict[Tuple[Candidate, int], float]
     best: Dict[int, Candidate] = field(default_factory=dict)
     skipped: List[Tuple[Candidate, str]] = field(default_factory=list)
+    # Chunks a call buffer divides into for the tuned collective;
+    # build_registry stamps it onto every registry entry.
+    sizing_chunks: int = 1
 
     def best_time(self, size: int) -> float:
         return self.times[(self.best[size], size)]
@@ -92,7 +95,8 @@ def tune(builder: Builder, topology: Topology, sizes: Sequence[int],
         max_threadblocks=topology.machine.sm_count
     )
     compiled: Dict[Candidate, MscclIr] = {}
-    result = TuningResult(candidates=[], sizes=list(sizes), times={})
+    result = TuningResult(candidates=[], sizes=list(sizes), times={},
+                          sizing_chunks=collective_sizing_chunks)
     for candidate in space:
         try:
             program = builder(
@@ -156,6 +160,6 @@ def build_registry(result: TuningResult,
             upper = spans[index + 1][0] - 1
         registry.register(
             compiled[winner], min_bytes=lower, max_bytes=upper,
-            label=winner.label,
+            label=winner.label, sizing_chunks=result.sizing_chunks,
         )
     return registry

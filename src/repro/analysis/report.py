@@ -4,11 +4,14 @@
 ``benchmarks/results/``; :func:`build_report` stitches them into a
 markdown document with a header, an efficiency audit (how close the
 headline algorithms get to the analytic alpha-beta floors), and the
-tables in paper order. Also exposed as ``python -m repro.tools report``.
+tables in paper order. Observability metrics dumped by
+``repro-tools trace --metrics results/<name>.metrics.json`` are folded
+in as markdown tables. Also exposed as ``repro-tools report``.
 """
 
 from __future__ import annotations
 
+import json
 import platform
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -64,6 +67,56 @@ def collect_results(results_dir: Path) -> Dict[str, str]:
     return tables
 
 
+def metrics_markdown(metrics: Dict) -> str:
+    """An observability metrics dict (see
+    :func:`repro.observe.metrics_dict`) as markdown tables."""
+    lines: List[str] = []
+    sim = metrics.get("sim")
+    if sim:
+        lines += [
+            f"{sim['instructions']} instructions / "
+            f"{sim['threadblocks']} thread blocks, "
+            f"{sim['time_us']:.1f} us simulated "
+            f"({sim['protocol']}, {sim['tiles']} tiles).",
+            "",
+        ]
+    counters = metrics.get("counters", {})
+    if counters:
+        lines += ["| counter | total |", "|---|---|"]
+        lines += [
+            f"| `{name}` | {value:.1f} |"
+            for name, value in sorted(counters.items())
+        ]
+        lines.append("")
+    links = metrics.get("links", {})
+    if links:
+        lines += ["| link | busy (us) | occupancy |", "|---|---|---|"]
+        ranked = sorted(links.items(),
+                        key=lambda kv: -kv[1]["occupancy"])
+        lines += [
+            f"| `{name}` | {row['busy_us']:.1f} | "
+            f"{row['occupancy']:.0%} |"
+            for name, row in ranked
+        ]
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def collect_metrics(results_dir: Path) -> Dict[str, Dict]:
+    """name -> parsed metrics dict for every ``*.metrics.json``."""
+    found: Dict[str, Dict] = {}
+    if not results_dir.is_dir():
+        return found
+    for path in sorted(results_dir.glob("*.metrics.json")):
+        try:
+            found[path.name[: -len(".metrics.json")]] = json.loads(
+                path.read_text()
+            )
+        except (OSError, json.JSONDecodeError):
+            continue  # a malformed dump should not sink the report
+    return found
+
+
 def build_report(results_dir: Path,
                  include_audit: bool = True) -> str:
     """The full markdown report."""
@@ -94,4 +147,7 @@ def build_report(results_dir: Path,
     ordered += [name for name in sorted(tables) if name not in ordered]
     for name in ordered:
         lines += [f"## {name}", "", "```", tables[name], "```", ""]
+    for name, metrics in collect_metrics(results_dir).items():
+        lines += [f"## {name} — observability metrics", "",
+                  metrics_markdown(metrics), ""]
     return "\n".join(lines)

@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.collectives import Collective
-from ..core.compiler import CompilerOptions, compile_program
+from ..core.compiler import (CompiledAlgorithm, CompilerOptions,
+                             compile_program)
 from ..core.ir import MscclIr
 from ..core.program import MSCCLProgram
 from ..runtime.simulator import IrSimulator, SimConfig
@@ -93,7 +94,8 @@ Config = Union[MscclIr, TimeFn]
 
 
 def compile_for(topology: Topology, program: MSCCLProgram,
-                options: Optional[CompilerOptions] = None) -> MscclIr:
+                options: Optional[CompilerOptions] = None,
+                ) -> CompiledAlgorithm:
     """Compile with the topology's SM limit applied."""
     options = options or CompilerOptions(
         max_threadblocks=topology.machine.sm_count
@@ -101,7 +103,8 @@ def compile_for(topology: Topology, program: MSCCLProgram,
     return compile_program(program, options)
 
 
-def ir_timer(ir: MscclIr, topology: Topology, collective: Collective,
+def ir_timer(ir: Union[MscclIr, CompiledAlgorithm], topology: Topology,
+             collective: Collective,
              sim_config: Optional[SimConfig] = None) -> TimeFn:
     """A ``time_us(buffer_bytes)`` function for a compiled IR."""
     chunks = collective.sizing_chunks()

@@ -33,7 +33,7 @@ from .collectives import (
     ReduceScatter,
     Scatter,
 )
-from .compiler import CompilerOptions, compile_program
+from .compiler import CompiledAlgorithm, CompilerOptions, compile_program
 from .dag import ChunkDAG, ChunkOp
 from .directives import parallelize
 from .errors import (
@@ -70,6 +70,7 @@ __all__ = [
     "ChunkRef",
     "Collective",
     "Gather",
+    "CompiledAlgorithm",
     "CompilerOptions",
     "Custom",
     "DeadlockError",

@@ -1,16 +1,25 @@
 """The compiler driver: trace -> lower -> fuse -> schedule -> audit.
 
 :func:`compile_program` is the one entry point users need: it takes a
-traced :class:`~repro.core.program.MSCCLProgram` and produces verified,
-deadlock-free MSCCL-IR ready for the runtime.
+traced :class:`~repro.core.program.MSCCLProgram` and produces a
+:class:`CompiledAlgorithm` — a handle bundling the verified,
+deadlock-free MSCCL-IR with the collective it implements, the options
+it was built with, and a per-pass span summary (durations plus
+node/instruction counts before and after every pass).
+
+The handle delegates attribute access to the underlying
+:class:`~repro.core.ir.MscclIr`, so code written against the old
+"returns an IR" contract keeps working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
+from ..observe.tracer import Span, Tracer
 from .buffers import Buffer
+from .collectives import Collective
 from .fusion import fuse
 from .ir import MscclIr
 from .lowering import lower
@@ -27,6 +36,11 @@ class CompilerOptions:
     turn it off). ``max_threadblocks`` enforces the cooperative-launch
     SM limit. ``num_slots`` is the FIFO depth assumed by the deadlock
     audit (the runtime's protocol must provide at least this many).
+    ``trace`` is an optional :class:`~repro.observe.Tracer` to record
+    the per-pass spans into — pass the same tracer to
+    :class:`~repro.runtime.simulator.SimConfig` for an end-to-end
+    Chrome trace. When omitted, a private tracer is created so the
+    compile-time span summary is always available on the result.
     """
 
     instr_fusion: bool = True
@@ -38,45 +52,140 @@ class CompilerOptions:
     optimize: bool = False
     max_threadblocks: Optional[int] = None
     num_slots: int = 8
+    trace: Optional[Tracer] = field(default=None, repr=False)
+
+
+class CompiledAlgorithm:
+    """Everything the runtime needs about one compiled program.
+
+    Bundles the :class:`MscclIr`, the :class:`Collective` it implements,
+    the :class:`CompilerOptions` used, and the compile-time trace, so
+    registration is one object instead of an error-prone
+    ``(ir, collective)`` pair::
+
+        algo = compile_program(program)
+        communicator.register(algo, max_bytes=2 * MiB)
+
+    Unknown attributes delegate to the IR (``algo.num_ranks``,
+    ``algo.to_xml()``, ...), keeping the old ``compile_program`` return
+    contract intact.
+    """
+
+    __slots__ = ("ir", "collective", "options", "tracer", "_span")
+
+    def __init__(self, ir: MscclIr, collective: Collective,
+                 options: CompilerOptions, tracer: Tracer,
+                 span: Span):
+        self.ir = ir
+        self.collective = collective
+        self.options = options
+        self.tracer = tracer
+        self._span = span  # this compile's root span within the tracer
+
+    def sizing_chunks(self) -> int:
+        """Chunks a call buffer divides into (for byte -> chunk sizing)."""
+        return self.collective.sizing_chunks()
+
+    @property
+    def compile_span(self) -> Span:
+        """The root span of this compile (children are the passes)."""
+        return self._span
+
+    @property
+    def compile_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-pass durations and counters, e.g.
+        ``{"fuse": {"duration_us": 12.3, "nodes_in": 96, ...}, ...}``."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for child in self._span.children:
+            row = {"duration_us": child.duration_us}
+            row.update({
+                key: value for key, value in child.args.items()
+                if isinstance(value, (int, float))
+            })
+            summary[child.name] = row
+        return summary
+
+    def __getattr__(self, name: str):
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return getattr(object.__getattribute__(self, "ir"), name)
+
+    def __repr__(self) -> str:
+        return (f"CompiledAlgorithm({self.ir.name!r}, "
+                f"collective={self.ir.collective!r}, "
+                f"ranks={self.ir.num_ranks}, "
+                f"instructions={self.ir.instruction_count()})")
 
 
 def compile_program(program: MSCCLProgram,
-                    options: Optional[CompilerOptions] = None) -> MscclIr:
-    """Compile a traced program into MSCCL-IR."""
+                    options: Optional[CompilerOptions] = None
+                    ) -> CompiledAlgorithm:
+    """Compile a traced program into a :class:`CompiledAlgorithm`."""
     options = options or CompilerOptions()
-    if options.verify:
-        check_postcondition(program)
-
-    idag = lower(program.dag, instances=program.instances)
-    if options.instr_fusion:
-        fuse(idag)
-
+    tracer = options.trace if options.trace is not None else Tracer()
     collective = program.collective
+    chunk_ops = len(program.dag.operations())
 
-    def input_chunks(rank: int) -> int:
-        if collective.in_place:
-            return 0  # the input aliases the output buffer
-        return collective.input_chunks(rank)
+    with tracer.span("compile", cat="compiler",
+                     algorithm=program.name,
+                     collective=collective.name,
+                     protocol=program.protocol,
+                     num_ranks=program.num_ranks) as root:
+        if options.verify:
+            with tracer.span("verify", cat="compiler",
+                             chunk_ops=chunk_ops):
+                check_postcondition(program)
 
-    ir = schedule(
-        idag,
-        name=program.name,
-        collective_name=collective.name,
-        protocol=program.protocol,
-        num_ranks=program.num_ranks,
-        in_place=collective.in_place,
-        input_chunks=input_chunks,
-        output_chunks=collective.output_chunks,
-        scratch_chunks=program.scratch_chunks,
-        max_threadblocks=options.max_threadblocks,
-    )
-    if options.optimize:
-        from .passes import optimize_ir
+        with tracer.span("lower", cat="compiler",
+                         chunk_ops_in=chunk_ops) as lower_span:
+            idag = lower(program.dag, instances=program.instances)
+            lower_span.args["instructions_out"] = len(idag.live())
 
-        optimize_ir(ir)
-    if options.audit:
-        audit_ir(ir, num_slots=options.num_slots)
-    return ir
+        if options.instr_fusion:
+            with tracer.span("fuse", cat="compiler",
+                             nodes_in=len(idag.live())) as fuse_span:
+                fuse(idag)
+                fuse_span.args["nodes_out"] = len(idag.live())
+
+        def input_chunks(rank: int) -> int:
+            if collective.in_place:
+                return 0  # the input aliases the output buffer
+            return collective.input_chunks(rank)
+
+        with tracer.span("schedule", cat="compiler",
+                         nodes_in=len(idag.live())) as sched_span:
+            ir = schedule(
+                idag,
+                name=program.name,
+                collective_name=collective.name,
+                protocol=program.protocol,
+                num_ranks=program.num_ranks,
+                in_place=collective.in_place,
+                input_chunks=input_chunks,
+                output_chunks=collective.output_chunks,
+                scratch_chunks=program.scratch_chunks,
+                max_threadblocks=options.max_threadblocks,
+                tracer=tracer,
+            )
+            sched_span.args["instructions_out"] = ir.instruction_count()
+            sched_span.args["threadblocks"] = ir.threadblock_count()
+            sched_span.args["channels"] = ir.channels_used()
+
+        if options.optimize:
+            from .passes import optimize_ir
+
+            optimize_ir(ir, tracer=tracer)
+
+        if options.audit:
+            with tracer.span("audit", cat="compiler",
+                             instructions=ir.instruction_count(),
+                             num_slots=options.num_slots):
+                audit_ir(ir, num_slots=options.num_slots)
+
+        root.args["instructions"] = ir.instruction_count()
+        root.args["threadblocks"] = ir.threadblock_count()
+
+    return CompiledAlgorithm(ir, collective, options, tracer, root)
 
 
 def scratch_buffer_chunks(ir: MscclIr, rank: int) -> int:

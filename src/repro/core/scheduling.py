@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
+from ..observe.tracer import maybe_span
 from .errors import SchedulingError
 from .instructions import Instruction, InstructionDAG
 from .ir import GpuProgram, IrInstruction, MscclIr, ThreadBlock
@@ -194,15 +195,24 @@ def _assign_channels(instrs: List[Instruction]) -> None:
 def schedule(idag: InstructionDAG, *, name: str, collective_name: str,
              protocol: str, num_ranks: int, in_place: bool,
              input_chunks, output_chunks, scratch_chunks,
-             max_threadblocks: Optional[int] = None) -> MscclIr:
+             max_threadblocks: Optional[int] = None,
+             tracer=None) -> MscclIr:
     """Phases 2 and 3: build the MSCCL-IR from a fused Instruction DAG.
 
     ``input_chunks``/``output_chunks``/``scratch_chunks`` are callables
     rank -> chunk count. ``max_threadblocks`` bounds thread blocks per
     GPU (the SM count constraint of cooperative kernel launch).
+    ``tracer`` (a :class:`repro.observe.Tracer`) records the scheduler's
+    internal phases as nested spans.
     """
     instrs = idag.live()
-    _assign_channels(instrs)
+    with maybe_span(tracer, "assign_channels", cat="compiler",
+                    instructions=len(instrs)) as chan_span:
+        _assign_channels(instrs)
+        if chan_span is not None:
+            chan_span.args["channels"] = len({
+                i.channel for i in instrs if i.channel is not None
+            })
     depth, rev = _compute_depths(instrs)
     by_id = {i.instr_id: i for i in instrs}
 
@@ -341,19 +351,25 @@ def schedule(idag: InstructionDAG, *, name: str, collective_name: str,
         claim(tb, send_key, recv_key, instr)
         return tb
 
-    while heap:
-        _, instr_id = heapq.heappop(heap)
-        instr = by_id[instr_id]
-        tb = tb_for(instr)
-        placement[instr_id] = (tb, len(tb.members))
-        tb.members.append(instr)
-        tb.last_pos = position
-        position += 1
-        scheduled += 1
-        for succ in successors[instr_id]:
-            indegree[succ] -= 1
-            if indegree[succ] == 0:
-                heapq.heappush(heap, (priority(by_id[succ]), succ))
+    with maybe_span(tracer, "place_threadblocks", cat="compiler",
+                    instructions=len(instrs)) as place_span:
+        while heap:
+            _, instr_id = heapq.heappop(heap)
+            instr = by_id[instr_id]
+            tb = tb_for(instr)
+            placement[instr_id] = (tb, len(tb.members))
+            tb.members.append(instr)
+            tb.last_pos = position
+            position += 1
+            scheduled += 1
+            for succ in successors[instr_id]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(heap, (priority(by_id[succ]), succ))
+        if place_span is not None:
+            place_span.args["threadblocks"] = sum(
+                len(tbs) for tbs in tbs_by_rank.values()
+            )
 
     if scheduled != len(instrs):
         raise SchedulingError(

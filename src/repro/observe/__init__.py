@@ -1,0 +1,34 @@
+"""repro.observe: spans, counters, and exporters for the whole stack.
+
+The observability layer behind the paper's "compile, run, inspect,
+retune" loop. One :class:`Tracer` can follow an algorithm end to end:
+
+    from repro.observe import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    algo = compile_program(program, CompilerOptions(trace=tracer))
+    result = IrSimulator(algo.ir, topo,
+                         config=SimConfig(tracer=tracer)).run(chunk_bytes)
+    write_chrome_trace("trace.json", tracer)   # chrome://tracing
+
+Compiler passes appear as wall-clock spans with before/after node
+counts; every simulated instruction occurrence is a virtual-time span
+on a ("rank R", "tb T") track; FIFO stalls and semaphore waits are
+counters sampled from the event loop. See docs/observability.md.
+"""
+
+from .export import chrome_trace, flame_text, write_chrome_trace
+from .metrics import metrics_dict, metrics_text
+from .tracer import CounterSample, Span, Tracer, maybe_span
+
+__all__ = [
+    "CounterSample",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "flame_text",
+    "maybe_span",
+    "metrics_dict",
+    "metrics_text",
+    "write_chrome_trace",
+]

@@ -1,0 +1,146 @@
+"""Exporters: Chrome-trace JSON and a plain-text flame summary.
+
+:func:`chrome_trace` renders a tracer into the Trace Event Format that
+``chrome://tracing`` / Perfetto load directly: one complete ``"X"``
+event per span, ``"M"`` metadata events naming each process/thread
+track, and ``"C"`` counter events from the tracer's samples. The
+simulator's tracks carry explicit numeric ids, so pid maps to the GPU
+rank and tid to the thread block.
+
+:func:`flame_text` is the terminal-friendly view of the same data: the
+span tree aggregated by path, with bars scaled to the root's total.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .tracer import Span, Tracer
+
+# Auto-assigned track ids start high so they never collide with GPU
+# ranks (which use their own rank number as pid).
+_AUTO_BASE = 1000
+
+
+class _TrackIds:
+    """Deterministic label -> integer id assignment for trace tracks."""
+
+    def __init__(self) -> None:
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[Tuple[str, str], int] = {}
+
+    def resolve(self, span: Span) -> Tuple[int, int]:
+        process, thread = span.track
+        if span.track_ids is not None:
+            pid, tid = span.track_ids
+            self._pids.setdefault(process, pid)
+            self._tids.setdefault((process, thread), tid)
+            return pid, tid
+        if process not in self._pids:
+            self._pids[process] = _AUTO_BASE + len(self._pids)
+        key = (process, thread)
+        if key not in self._tids:
+            self._tids[key] = len([
+                k for k in self._tids if k[0] == process
+            ])
+        return self._pids[process], self._tids[key]
+
+    def metadata_events(self) -> List[dict]:
+        events = []
+        for process, pid in sorted(self._pids.items(), key=lambda kv: kv[1]):
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        for (process, thread), tid in sorted(self._tids.items(),
+                                             key=lambda kv: kv[1]):
+            pid = self._pids[process]
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": thread},
+            })
+        return events
+
+
+def _jsonable(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The tracer as a Chrome Trace Event Format document (a dict)."""
+    tracks = _TrackIds()
+    events: List[dict] = []
+    for span in tracer.walk():
+        pid, tid = tracks.resolve(span)
+        events.append({
+            "name": span.name,
+            "cat": span.cat or "span",
+            "ph": "X",
+            "ts": round(span.start_us, 3),
+            "dur": round(span.duration_us, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": {k: _jsonable(v) for k, v in span.args.items()},
+        })
+    for sample in tracer.counter_samples:
+        events.append({
+            "name": sample.name,
+            "cat": "counter",
+            "ph": "C",
+            "ts": round(sample.t_us, 3),
+            "pid": 0,
+            "tid": 0,
+            "args": {"value": round(sample.value, 3)},
+        })
+    return {
+        "traceEvents": tracks.metadata_events() + events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(path: Union[str, Path], tracer: Tracer) -> Path:
+    """Serialize :func:`chrome_trace` to a file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer), default=str))
+    return path
+
+
+def flame_text(tracer: Tracer, width: int = 40,
+               max_depth: Optional[int] = None) -> str:
+    """Flamegraph-style text: span paths aggregated, bars to scale.
+
+    Sibling spans with the same name merge (count shown), so the
+    simulator's thousands of per-instruction spans collapse into one
+    row per opcode under their parent.
+    """
+    lines: List[str] = []
+
+    def render(spans: List[Span], depth: int, scale: float) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        merged: Dict[str, Dict] = {}
+        for span in spans:
+            row = merged.setdefault(span.name, {
+                "total": 0.0, "count": 0, "children": [],
+            })
+            row["total"] += span.duration_us
+            row["count"] += 1
+            row["children"].extend(span.children)
+        for name, row in sorted(merged.items(),
+                                key=lambda kv: -kv[1]["total"]):
+            bar = "#" * max(1, int(row["total"] * scale)) if scale else ""
+            count = f" x{row['count']}" if row["count"] > 1 else ""
+            lines.append(
+                f"{'  ' * depth}{name:<{max(1, 24 - 2 * depth)}s} "
+                f"{row['total']:>10.1f}us{count:<8s} {bar}"
+            )
+            render(row["children"], depth + 1, scale)
+
+    total = sum(root.duration_us for root in tracer.roots)
+    scale = width / total if total > 0 else 0.0
+    render(tracer.roots, 0, scale)
+    return "\n".join(lines)

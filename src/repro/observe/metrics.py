@@ -1,0 +1,85 @@
+"""Structured metrics distilled from a tracer (and a sim result).
+
+:func:`metrics_dict` is the machine-readable companion of the Chrome
+trace: counter totals, per-span-name aggregates, and per-link occupancy
+in one plain dict (JSON-safe), consumable by ``analysis/report.py`` or
+any dashboard. :func:`metrics_text` renders it for terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .tracer import Tracer
+
+
+def metrics_dict(tracer: Tracer, result=None) -> Dict:
+    """Counters, span aggregates, and link occupancy as one dict.
+
+    ``result`` (a :class:`~repro.runtime.simulator.SimResult`) adds the
+    ``links`` section: per-resource busy time and occupancy — busy
+    share of the whole execution — sampled from the event loop's FCFS
+    bandwidth resources.
+    """
+    spans: Dict[str, Dict[str, float]] = {}
+    for name, row in tracer.summary().items():
+        spans[name] = {
+            "count": int(row["count"]),
+            "total_us": round(row["total_us"], 3),
+        }
+    metrics: Dict = {
+        "counters": {
+            name: round(value, 3)
+            for name, value in sorted(tracer.counters.items())
+        },
+        "spans": spans,
+    }
+    if result is not None:
+        elapsed = result.time_us
+        links = {}
+        for name, busy in sorted(result.resource_busy_us.items()):
+            if busy <= 0:
+                continue
+            links[name] = {
+                "busy_us": round(busy, 3),
+                "occupancy": round(busy / elapsed, 4) if elapsed else 0.0,
+            }
+        metrics["links"] = links
+        metrics["sim"] = {
+            "time_us": round(elapsed, 3),
+            "instructions": result.instruction_count,
+            "threadblocks": result.threadblocks,
+            "tiles": result.tiles,
+            "protocol": result.protocol,
+        }
+    return metrics
+
+
+def metrics_text(metrics: Dict, top_links: Optional[int] = 8) -> str:
+    """Terminal rendering of a :func:`metrics_dict` result."""
+    lines = []
+    sim = metrics.get("sim")
+    if sim:
+        lines.append(
+            f"simulated {sim['instructions']} instructions on "
+            f"{sim['threadblocks']} thread blocks in "
+            f"{sim['time_us']:.1f}us ({sim['protocol']}, "
+            f"{sim['tiles']} tiles)"
+        )
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<32s} {value:>12.1f}")
+    links = metrics.get("links", {})
+    if links:
+        ranked = sorted(links.items(), key=lambda kv: -kv[1]["occupancy"])
+        if top_links is not None:
+            ranked = ranked[:top_links]
+        lines.append("busiest links:")
+        for name, row in ranked:
+            lines.append(
+                f"  {name:<24s} {row['busy_us']:>10.1f}us busy "
+                f"({row['occupancy']:.0%} occupied)"
+            )
+    return "\n".join(lines)

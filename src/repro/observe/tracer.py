@@ -1,0 +1,195 @@
+"""Span-based tracing: the core of the observability layer.
+
+A :class:`Tracer` records two kinds of data:
+
+* **Spans** — named, nested intervals with free-form ``args``. The
+  compiler opens wall-clock spans around its passes (via the
+  :meth:`Tracer.span` context manager); the simulator emits
+  virtual-time spans for every executed instruction occurrence (via
+  :meth:`Tracer.emit`, which takes explicit start/end times).
+* **Counters** — monotone accumulators sampled over time (FIFO stalls,
+  semaphore waits, per-link busy time). Each :meth:`Tracer.add_counter`
+  call bumps the running total and appends a timestamped sample, so
+  exporters can draw counter tracks, not just report totals.
+
+Spans carry a ``track`` — a ``(process, thread)`` label pair that
+exporters map to Chrome's pid/tid. The simulator labels tracks
+``("rank R", "tb T")`` with numeric ids ``(R, T)`` so trace viewers
+group timelines exactly like the hardware would.
+
+One tracer may span several phases (compile *and* simulate) — that is
+the intended usage for end-to-end traces: pass the same instance to
+:class:`~repro.core.compiler.CompilerOptions` and
+:class:`~repro.runtime.simulator.SimConfig`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+Track = Tuple[str, str]
+
+DEFAULT_TRACK: Track = ("main", "main")
+
+
+class Span:
+    """One named interval with nested children.
+
+    Times are microseconds in the tracer's own domain: wall-clock
+    microseconds since tracer creation for compiler spans, virtual
+    simulated microseconds for runtime spans. ``args`` holds structured
+    attributes (pass statistics, rank/tb/step coordinates, ...).
+    """
+
+    __slots__ = ("name", "cat", "start_us", "end_us", "track",
+                 "track_ids", "args", "children")
+
+    def __init__(self, name: str, start_us: float, *, cat: str = "",
+                 track: Track = DEFAULT_TRACK,
+                 track_ids: Optional[Tuple[int, int]] = None,
+                 args: Optional[Dict] = None):
+        self.name = name
+        self.cat = cat
+        self.start_us = start_us
+        self.end_us: Optional[float] = None
+        self.track = track
+        self.track_ids = track_ids
+        self.args: Dict = args or {}
+        self.children: List[Span] = []
+
+    @property
+    def duration_us(self) -> float:
+        if self.end_us is None:
+            return 0.0
+        return self.end_us - self.start_us
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with the given name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (f"{self.duration_us:.1f}us" if self.end_us is not None
+                 else "open")
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class CounterSample:
+    """One timestamped observation of a counter's running total."""
+
+    __slots__ = ("name", "t_us", "value")
+
+    def __init__(self, name: str, t_us: float, value: float):
+        self.name = name
+        self.t_us = t_us
+        self.value = value
+
+
+class Tracer:
+    """Collects spans and counters; feed it to the exporters.
+
+    ``clock`` returns the current time in microseconds; the default is
+    wall-clock time relative to tracer creation. Virtual-time producers
+    (the simulator) bypass the clock entirely by calling :meth:`emit`
+    with explicit timestamps.
+    """
+
+    def __init__(self, clock=None):
+        if clock is None:
+            epoch = time.perf_counter()
+            clock = lambda: (time.perf_counter() - epoch) * 1e6  # noqa: E731
+        self._clock = clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self.counter_samples: List[CounterSample] = []
+
+    # -- clocked spans (compiler side) ----------------------------------
+    @contextmanager
+    def span(self, name: str, *, cat: str = "",
+             track: Track = DEFAULT_TRACK, **args):
+        """Open a nested span around a block; yields the Span so the
+        block can attach result statistics to ``span.args``."""
+        opened = Span(name, self._clock(), cat=cat, track=track, args=args)
+        self._attach(opened)
+        self._stack.append(opened)
+        try:
+            yield opened
+        finally:
+            self._stack.pop()
+            opened.end_us = self._clock()
+
+    # -- explicit-time spans (simulator side) ---------------------------
+    def emit(self, name: str, start_us: float, end_us: float, *,
+             cat: str = "", track: Track = DEFAULT_TRACK,
+             track_ids: Optional[Tuple[int, int]] = None,
+             parent: Optional[Span] = None, **args) -> Span:
+        """Record an already-finished span with explicit timestamps."""
+        span = Span(name, start_us, cat=cat, track=track,
+                    track_ids=track_ids, args=args)
+        span.end_us = end_us
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self._attach(span)
+        return span
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    # -- counters --------------------------------------------------------
+    def add_counter(self, name: str, delta: float,
+                    t_us: Optional[float] = None) -> float:
+        """Accumulate into a named counter; returns the new total."""
+        total = self.counters.get(name, 0.0) + delta
+        self.counters[name] = total
+        self.counter_samples.append(CounterSample(
+            name, self._clock() if t_us is None else t_us, total
+        ))
+        return total
+
+    # -- queries ---------------------------------------------------------
+    def walk(self) -> Iterator[Span]:
+        """Depth-first over every recorded span."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def spans(self, cat: Optional[str] = None) -> List[Span]:
+        """All (finished or open) spans, optionally filtered by category."""
+        return [s for s in self.walk() if cat is None or s.cat == cat]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate totals per span name: count and total microseconds."""
+        rows: Dict[str, Dict[str, float]] = {}
+        for span in self.walk():
+            row = rows.setdefault(span.name, {"count": 0, "total_us": 0.0})
+            row["count"] += 1
+            row["total_us"] += span.duration_us
+        return rows
+
+
+@contextmanager
+def maybe_span(tracer: Optional[Tracer], name: str, **kwargs):
+    """``tracer.span`` when a tracer is present, else a no-op context.
+
+    Lets instrumented passes stay tracer-optional without branching at
+    every call site. Yields the Span or None.
+    """
+    if tracer is None:
+        yield None
+    else:
+        with tracer.span(name, **kwargs) as span:
+            yield span

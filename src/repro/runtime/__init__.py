@@ -14,7 +14,7 @@ from .profile import (
 )
 from .protocols import (LL, LL128, PROTOCOLS, SIMPLE, SIMPLE_DIRECT,
                         Protocol, get_protocol)
-from .simulator import IrSimulator, SimConfig, SimResult
+from .simulator import IrSimulator, SimConfig, SimResult, TraceEntry
 
 __all__ = [
     "AlgorithmRegistry",
@@ -34,6 +34,7 @@ __all__ = [
     "SimResult",
     "Signal",
     "TbProfile",
+    "TraceEntry",
     "critical_path",
     "profile_threadblocks",
     "slowest_threadblocks",

@@ -8,14 +8,25 @@ provides that surface for the simulator: a :class:`Communicator` with
 ``all_reduce`` / ``all_to_all`` / ``all_gather`` calls that select a
 registered MSCCLang program by buffer size, simulate it, and fall back
 to the NCCL model when nothing better is registered.
+
+Registration takes the :class:`~repro.core.compiler.CompiledAlgorithm`
+handle returned by ``compile_program``::
+
+    algo = compile_program(program)
+    comm.register(algo, max_bytes=2 * MiB, label="ring-ll")
+
+The legacy ``register(ir, collective)`` pair still works but emits a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..core.collectives import Collective
+from ..core.compiler import CompiledAlgorithm
 from ..core.errors import RuntimeConfigError
 from ..core.ir import MscclIr
 from ..nccl.selector import NcclModel
@@ -41,7 +52,8 @@ class Communicator:
     Register tuned MSCCLang programs with :meth:`register`; collective
     calls select by size and fall back to the NCCL baseline. Every call
     is recorded in :attr:`history` with the algorithm used and its
-    simulated latency, so workload traces can be replayed and audited.
+    simulated latency, so workload traces can be replayed and audited;
+    :meth:`summary` aggregates that history per collective.
     """
 
     topology: Topology
@@ -57,11 +69,34 @@ class Communicator:
         return self.topology.num_ranks
 
     # -- registration ----------------------------------------------------
-    def register(self, ir: MscclIr, collective: Collective,
+    def register(self, algorithm: Union[CompiledAlgorithm, MscclIr],
+                 collective: Optional[Collective] = None, *,
                  min_bytes: float = 0.0,
                  max_bytes: float = float("inf"),
                  label: str = "") -> None:
-        """Register a compiled program for a buffer-size range."""
+        """Register a compiled algorithm for a buffer-size range.
+
+        ``algorithm`` is the :class:`CompiledAlgorithm` from
+        ``compile_program``. Passing a separate ``collective`` (the old
+        ``register(ir, collective)`` shape) is deprecated.
+        """
+        if collective is not None:
+            warnings.warn(
+                "Communicator.register(ir, collective) is deprecated; "
+                "pass the CompiledAlgorithm returned by compile_program "
+                "instead",
+                DeprecationWarning, stacklevel=2,
+            )
+            ir = algorithm.ir if isinstance(
+                algorithm, CompiledAlgorithm) else algorithm
+        elif isinstance(algorithm, CompiledAlgorithm):
+            ir = algorithm.ir
+            collective = algorithm.collective
+        else:
+            raise RuntimeConfigError(
+                "register() needs a CompiledAlgorithm (from "
+                "compile_program) or the deprecated (ir, collective) pair"
+            )
         if ir.num_ranks != self.num_ranks:
             raise RuntimeConfigError(
                 f"program has {ir.num_ranks} ranks, communicator has "
@@ -70,15 +105,24 @@ class Communicator:
         registry = self._registries.setdefault(
             ir.collective, AlgorithmRegistry(ir.collective)
         )
-        entry = registry.register(ir, min_bytes, max_bytes, label)
-        # Remember sizing so calls can convert buffer bytes to chunks.
-        entry.sizing_chunks = collective.sizing_chunks()
+        # Sizing rides along at construction time so calls can convert
+        # buffer bytes to chunks (and adopted registries stay coherent).
+        registry.register(
+            ir, min_bytes=min_bytes, max_bytes=max_bytes, label=label,
+            sizing_chunks=collective.sizing_chunks(),
+        )
 
     def register_registry(self, registry: AlgorithmRegistry,
-                          sizing_chunks: int) -> None:
-        """Adopt a whole registry (e.g. from the autotuner)."""
-        for entry in registry.algorithms:
-            entry.sizing_chunks = sizing_chunks
+                          sizing_chunks: Optional[int] = None) -> None:
+        """Adopt a whole registry (e.g. from the autotuner).
+
+        Entries carry their sizing from registration time;
+        ``sizing_chunks`` overrides it for registries built before
+        sizing moved into the entry constructor.
+        """
+        if sizing_chunks is not None:
+            for entry in registry.algorithms:
+                entry.sizing_chunks = sizing_chunks
         self._registries[registry.collective_name] = registry
 
     # -- collective calls ---------------------------------------------------
@@ -130,13 +174,35 @@ class Communicator:
     def total_time_us(self) -> float:
         return sum(record.time_us for record in self.history)
 
-    def summary(self) -> str:
-        """Per-algorithm call counts and cumulative time."""
-        by_algorithm: Dict[str, List[CallRecord]] = {}
+    def summary(self) -> Dict[str, Dict]:
+        """Structured history: per-collective call counts, simulated
+        time, and the per-algorithm breakdown::
+
+            {"allreduce": {"calls": 3, "total_us": 812.5,
+                           "algorithms": {"ring-ll": {...}, ...}}}
+        """
+        out: Dict[str, Dict] = {}
         for record in self.history:
-            by_algorithm.setdefault(record.algorithm, []).append(record)
-        lines = [f"{'algorithm':<28s} {'calls':>6s} {'total us':>12s}"]
-        for label, records in sorted(by_algorithm.items()):
-            total = sum(r.time_us for r in records)
-            lines.append(f"{label:<28s} {len(records):>6d} {total:>12.1f}")
+            coll = out.setdefault(record.collective, {
+                "calls": 0, "total_us": 0.0, "algorithms": {},
+            })
+            coll["calls"] += 1
+            coll["total_us"] += record.time_us
+            algo = coll["algorithms"].setdefault(record.algorithm, {
+                "calls": 0, "total_us": 0.0,
+            })
+            algo["calls"] += 1
+            algo["total_us"] += record.time_us
+        return out
+
+    def summary_text(self) -> str:
+        """Per-algorithm call counts and cumulative time, as a table."""
+        lines = [f"{'collective':<14s} {'algorithm':<28s} "
+                 f"{'calls':>6s} {'total us':>12s}"]
+        for collective, coll in sorted(self.summary().items()):
+            for label, algo in sorted(coll["algorithms"].items()):
+                lines.append(
+                    f"{collective:<14s} {label:<28s} "
+                    f"{algo['calls']:>6d} {algo['total_us']:>12.1f}"
+                )
         return "\n".join(lines)

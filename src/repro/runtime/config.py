@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..core.compiler import CompiledAlgorithm
 from ..core.errors import RuntimeConfigError
 from ..core.ir import MscclIr
 
@@ -21,7 +22,8 @@ class RegisteredAlgorithm:
     """An IR valid for buffer sizes in [min_bytes, max_bytes].
 
     ``sizing_chunks`` converts a call's buffer size into the program's
-    chunk payload (set by the registering Communicator/autotuner).
+    chunk payload. It is fixed at registration time so an adopted
+    registry can never carry a stale value.
     """
 
     ir: MscclIr
@@ -42,10 +44,21 @@ class AlgorithmRegistry:
     algorithms: List[RegisteredAlgorithm] = field(default_factory=list)
     fallback: Optional[Callable[[float], MscclIr]] = None
 
-    def register(self, ir: MscclIr, min_bytes: float = 0.0,
+    def register(self, ir, *, min_bytes: float = 0.0,
                  max_bytes: float = float("inf"),
-                 label: str = "") -> RegisteredAlgorithm:
-        """Register an IR for a size range; first match wins."""
+                 label: str = "",
+                 sizing_chunks: Optional[int] = None
+                 ) -> RegisteredAlgorithm:
+        """Register an IR for a size range; first match wins.
+
+        ``ir`` may be a raw :class:`MscclIr` or the
+        :class:`CompiledAlgorithm` handle from ``compile_program`` (in
+        which case sizing defaults to the bundled collective's).
+        """
+        if isinstance(ir, CompiledAlgorithm):
+            if sizing_chunks is None:
+                sizing_chunks = ir.sizing_chunks()
+            ir = ir.ir
         if ir.collective != self.collective_name:
             raise RuntimeConfigError(
                 f"IR implements {ir.collective!r}, registry is for "
@@ -55,8 +68,10 @@ class AlgorithmRegistry:
             raise RuntimeConfigError(
                 f"empty size range [{min_bytes}, {max_bytes}]"
             )
-        entry = RegisteredAlgorithm(ir, min_bytes, max_bytes,
-                                    label or ir.name)
+        entry = RegisteredAlgorithm(
+            ir, min_bytes, max_bytes, label or ir.name,
+            sizing_chunks=1 if sizing_chunks is None else sizing_chunks,
+        )
         self.algorithms.append(entry)
         return entry
 

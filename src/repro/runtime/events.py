@@ -20,15 +20,21 @@ from ..core.errors import SimulationError
 
 
 class Signal:
-    """A broadcast condition: processes wait, notify_all wakes them."""
+    """A broadcast condition: processes wait, notify_all wakes them.
 
-    __slots__ = ("_waiters",)
+    ``label`` names the wait class ("fifo_arrival", "fifo_slot",
+    "semaphore", ...) so a tracing event loop can attribute blocked
+    time to it.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_waiters", "label")
+
+    def __init__(self, label: str = "") -> None:
         self._waiters: List = []
+        self.label = label
 
-    def add_waiter(self, process) -> None:
-        self._waiters.append(process)
+    def add_waiter(self, process, since: float = 0.0) -> None:
+        self._waiters.append((process, since))
 
     def take_waiters(self) -> List:
         waiters, self._waiters = self._waiters, []
@@ -36,10 +42,17 @@ class Signal:
 
 
 class EventLoop:
-    """Runs processes until no further progress is possible."""
+    """Runs processes until no further progress is possible.
 
-    def __init__(self) -> None:
+    With a :class:`repro.observe.Tracer`, every wakeup from a labelled
+    signal adds the time the process spent blocked to a
+    ``wait.<label>_us`` counter (sampled at the wake time) — the FIFO
+    stall and semaphore accounting of the observability layer.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.now = 0.0
+        self.tracer = tracer
         self._queue: List[Tuple[float, int, Iterator]] = []
         self._sequence = 0
         self._active = 0
@@ -60,8 +73,13 @@ class EventLoop:
 
     def notify(self, signal: Signal) -> None:
         """Wake every process waiting on the signal (at the current time)."""
-        for process in signal.take_waiters():
+        for process, since in signal.take_waiters():
             self._blocked -= 1
+            if self.tracer is not None and signal.label:
+                self.tracer.add_counter(
+                    f"wait.{signal.label}_us", self.now - since,
+                    t_us=self.now,
+                )
             self._push(self.now, process)
 
     def run(self) -> float:
@@ -94,7 +112,7 @@ class EventLoop:
             self._push(max(self.now, request[1]), process)
         elif kind == "wait":
             signal = request[1]
-            signal.add_waiter(process)
+            signal.add_waiter(process, since=self.now)
             self._blocked += 1
         else:
             raise SimulationError(f"unknown wait request {request!r}")

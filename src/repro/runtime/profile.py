@@ -1,11 +1,17 @@
-"""Profiling tools over simulator execution traces.
+"""Profiling tools over the simulator's span stream.
 
-Run the simulator with ``SimConfig(collect_trace=True)`` and feed the
-result here to answer the questions a performance engineer asks of a
-real collective: which thread blocks are busy vs. waiting, where the
+Run the simulator with ``SimConfig(collect_trace=True)`` (or pass a
+:class:`repro.observe.Tracer` via ``SimConfig(tracer=...)``) and feed
+the result here to answer the questions a performance engineer asks of
+a real collective: which thread blocks are busy vs. waiting, where the
 critical path sits, what each rank's timeline looks like. This is the
 analysis loop behind the paper's manual tuning ("we tune ... for the
 system") made first-class.
+
+These helpers consume the per-instruction :class:`repro.observe.Span`
+objects on :attr:`SimResult.spans` (rank/tb/step coordinates live in
+``span.args``); the flat :attr:`SimResult.trace` rows are a derived
+view of the same stream kept for external consumers.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core.errors import RuntimeConfigError
+from ..observe.tracer import Span
 from .simulator import SimResult
 
 
@@ -40,24 +47,30 @@ class TbProfile:
         return min(1.0, self.active_us / self.span_us)
 
 
-def profile_threadblocks(result: SimResult) -> List[TbProfile]:
-    """Per-thread-block activity from a collected trace."""
-    if result.trace is None:
+def _instruction_spans(result: SimResult) -> List[Span]:
+    if result.spans is None:
         raise RuntimeConfigError(
-            "no trace collected; run with SimConfig(collect_trace=True)"
+            "no trace collected; run with SimConfig(collect_trace=True) "
+            "or SimConfig(tracer=...)"
         )
-    grouped: Dict[Tuple[int, int], List] = {}
-    for entry in result.trace:
-        grouped.setdefault((entry.rank, entry.tb_id), []).append(entry)
+    return result.spans
+
+
+def profile_threadblocks(result: SimResult) -> List[TbProfile]:
+    """Per-thread-block activity from the collected span stream."""
+    grouped: Dict[Tuple[int, int], List[Span]] = {}
+    for span in _instruction_spans(result):
+        key = (span.args["rank"], span.args["tb"])
+        grouped.setdefault(key, []).append(span)
     profiles = []
-    for (rank, tb_id), entries in sorted(grouped.items()):
+    for (rank, tb_id), spans in sorted(grouped.items()):
         profiles.append(TbProfile(
             rank=rank,
             tb_id=tb_id,
-            instructions_executed=len(entries),
-            first_start_us=min(e.start_us for e in entries),
-            last_end_us=max(e.end_us for e in entries),
-            active_us=sum(e.end_us - e.start_us for e in entries),
+            instructions_executed=len(spans),
+            first_start_us=min(s.start_us for s in spans),
+            last_end_us=max(s.end_us for s in spans),
+            active_us=sum(s.duration_us for s in spans),
         ))
     return profiles
 
@@ -89,45 +102,41 @@ def utilization_report(result: SimResult) -> str:
 def critical_path(result: SimResult, top: int = 10) -> List[str]:
     """The longest-running instruction occurrences, formatted.
 
-    Not a true dependency-chain critical path (the trace does not carry
-    edges), but the dominant instruction occurrences reliably point at
-    the bottleneck stage in practice.
+    Not a true dependency-chain critical path (the span stream does not
+    carry edges), but the dominant instruction occurrences reliably
+    point at the bottleneck stage in practice.
     """
-    if result.trace is None:
-        raise RuntimeConfigError(
-            "no trace collected; run with SimConfig(collect_trace=True)"
-        )
     heaviest = sorted(
-        result.trace, key=lambda e: e.end_us - e.start_us, reverse=True
+        _instruction_spans(result),
+        key=lambda s: s.duration_us, reverse=True,
     )[:top]
     return [
-        f"r{e.rank}/tb{e.tb_id} tile{e.tile} step{e.step} {e.op}: "
-        f"{e.end_us - e.start_us:.1f}us "
-        f"[{e.start_us:.1f}..{e.end_us:.1f}]"
-        for e in heaviest
+        f"r{s.args['rank']}/tb{s.args['tb']} tile{s.args['tile']} "
+        f"step{s.args['step']} {s.name}: "
+        f"{s.duration_us:.1f}us "
+        f"[{s.start_us:.1f}..{s.end_us:.1f}]"
+        for s in heaviest
     ]
 
 
 def timeline(result: SimResult, rank: int, width: int = 64) -> str:
     """ASCII gantt of one rank's thread blocks ('#' active, '.' idle)."""
-    if result.trace is None:
-        raise RuntimeConfigError(
-            "no trace collected; run with SimConfig(collect_trace=True)"
-        )
-    entries = [e for e in result.trace if e.rank == rank]
-    if not entries:
+    spans = [
+        s for s in _instruction_spans(result) if s.args["rank"] == rank
+    ]
+    if not spans:
         return f"(rank {rank} executed nothing)"
-    horizon = max(e.end_us for e in entries)
+    horizon = max(s.end_us for s in spans)
     scale = width / horizon if horizon else 1.0
     rows = []
-    tb_ids = sorted({e.tb_id for e in entries})
+    tb_ids = sorted({s.args["tb"] for s in spans})
     for tb_id in tb_ids:
         cells = ["."] * width
-        for e in entries:
-            if e.tb_id != tb_id:
+        for s in spans:
+            if s.args["tb"] != tb_id:
                 continue
-            lo = min(width - 1, int(e.start_us * scale))
-            hi = min(width, max(lo + 1, int(e.end_us * scale)))
+            lo = min(width - 1, int(s.start_us * scale))
+            hi = min(width, max(lo + 1, int(s.end_us * scale)))
             for position in range(lo, hi):
                 cells[position] = "#"
         rows.append(f"tb{tb_id:<3d} |{''.join(cells)}|")

@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import SimulationError
 from ..core.instructions import Op
 from ..core.ir import MscclIr
+from ..observe.tracer import Span, Tracer
 from ..topology.model import Resource, Topology
 from .events import EventLoop, Signal
 from .protocols import Protocol, get_protocol
@@ -36,13 +37,21 @@ class SimConfig:
     counts manageable for multi-GB sweeps; pipelining benefits saturate
     after a handful of tiles, so this mainly trades accuracy of the
     per-tile alpha amortization (applied identically to all algorithms).
+
+    ``tracer`` (a :class:`repro.observe.Tracer`) records one span per
+    executed instruction occurrence on a ``("rank R", "tb T")`` track,
+    FIFO-stall/semaphore-wait counters sampled from the event loop, and
+    per-link busy-time counters. ``collect_trace`` is the lightweight
+    switch: it provisions a private tracer so the profiling helpers in
+    :mod:`repro.runtime.profile` work without any exporter setup.
     """
 
     max_tiles: int = 16
     instruction_overhead: float = 0.12  # us, per instruction per tile
     semaphore_overhead: float = 0.25  # us, threadfence + semaphore set
     include_launch: bool = True
-    collect_trace: bool = False  # record per-instruction TraceEntry rows
+    collect_trace: bool = False  # record per-instruction spans
+    tracer: Optional[Tracer] = field(default=None, repr=False)
     # SCCL-style direct copy: sends write straight into the destination
     # buffer (no FIFO staging, no consume pass on the receiver). Used by
     # the SCCL-runtime comparison of paper section 7.5.
@@ -56,7 +65,12 @@ class SimConfig:
 
 @dataclass
 class TraceEntry:
-    """One executed instruction occurrence (when tracing is enabled)."""
+    """One executed instruction occurrence, as a flat row.
+
+    Kept as a compatibility view over the span stream: the simulator
+    records :class:`~repro.observe.Span` objects, and
+    :attr:`SimResult.trace` derives these rows from them on demand.
+    """
 
     start_us: float
     end_us: float
@@ -69,7 +83,14 @@ class TraceEntry:
 
 @dataclass
 class SimResult:
-    """Outcome of one simulated execution."""
+    """Outcome of one simulated execution.
+
+    When tracing was enabled, :attr:`tracer` holds the full span stream
+    and counters for this run (plus whatever the caller already traced
+    into it — e.g. compiler passes), :attr:`spans` the per-instruction
+    spans of this execution only, and :attr:`trace` the same data as
+    flat :class:`TraceEntry` rows.
+    """
 
     time_us: float
     tiles: int
@@ -78,7 +99,26 @@ class SimResult:
     chunk_bytes: float
     protocol: str
     resource_busy_us: Dict[str, float] = field(default_factory=dict)
-    trace: Optional[list] = None
+    tracer: Optional[Tracer] = field(default=None, repr=False)
+    spans: Optional[List[Span]] = field(default=None, repr=False)
+
+    @property
+    def trace(self) -> Optional[List[TraceEntry]]:
+        """Flat per-instruction rows derived from the span stream."""
+        if self.spans is None:
+            return None
+        return [
+            TraceEntry(
+                start_us=span.start_us,
+                end_us=span.end_us,
+                rank=span.args["rank"],
+                tb_id=span.args["tb"],
+                tile=span.args["tile"],
+                step=span.args["step"],
+                op=span.name,
+            )
+            for span in self.spans
+        ]
 
     @property
     def time_s(self) -> float:
@@ -119,8 +159,8 @@ class _Connection:
         self.consumed: set = set()
         self.prev_first = 0.0
         self.prev_last = 0.0
-        self.arrival_signal = Signal()
-        self.slot_signal = Signal()
+        self.arrival_signal = Signal("fifo_arrival")
+        self.slot_signal = Signal("fifo_slot")
 
     def clamp_fifo(self, first_byte: float,
                    last_byte: float) -> Tuple[float, float]:
@@ -139,7 +179,7 @@ class _Semaphore:
 
     def __init__(self) -> None:
         self.value = 0
-        self.signal = Signal()
+        self.signal = Signal("semaphore")
 
 
 class IrSimulator:
@@ -168,7 +208,10 @@ class IrSimulator:
         if chunk_bytes <= 0:
             raise SimulationError("chunk_bytes must be positive")
         self.topology.reset_resources()
-        loop = EventLoop()
+        tracer = self.config.tracer
+        if tracer is None and self.config.collect_trace:
+            tracer = Tracer()
+        loop = EventLoop(tracer=tracer)
         tiles = self._tile_count(chunk_bytes)
         connections = self._build_connections()
         semaphores: Dict[Tuple[int, int], _Semaphore] = {}
@@ -186,12 +229,12 @@ class IrSimulator:
                 )
                 tb_lengths[key] = len(tb.instructions)
 
-        trace = [] if self.config.collect_trace else None
+        spans = [] if tracer is not None else None
         for gpu in self.ir.gpus:
             for tb in gpu.threadblocks:
                 loop.spawn(self._tb_process(
                     loop, gpu.rank, tb, tiles, chunk_bytes, connections,
-                    semaphores, engines, tb_lengths, trace,
+                    semaphores, engines, tb_lengths, tracer, spans,
                 ))
 
         elapsed = loop.run()
@@ -207,6 +250,19 @@ class IrSimulator:
             name: res.busy_time
             for name, res in self.topology._resources.items()
         }
+        if tracer is not None:
+            # Root span covering the whole execution (launch included),
+            # so the span tree accounts for exactly the reported time.
+            tracer.emit(
+                "simulate", 0.0, elapsed, cat="sim",
+                track=("sim", self.ir.name),
+                algorithm=self.ir.name, protocol=self.protocol.name,
+                tiles=tiles, chunk_bytes=chunk_bytes,
+            )
+            for name, busy_us in sorted(busy.items()):
+                if busy_us > 0:
+                    tracer.add_counter(f"link.{name}.busy_us", busy_us,
+                                       t_us=elapsed)
         return SimResult(
             time_us=elapsed,
             tiles=tiles,
@@ -215,7 +271,8 @@ class IrSimulator:
             chunk_bytes=chunk_bytes,
             protocol=self.protocol.name,
             resource_busy_us=busy,
-            trace=trace,
+            tracer=tracer,
+            spans=spans,
         )
 
     # -- internals --------------------------------------------------------
@@ -265,7 +322,7 @@ class IrSimulator:
 
     def _tb_process(self, loop: EventLoop, rank: int, tb, tiles: int,
                     chunk_bytes: float, connections, semaphores, engines,
-                    tb_lengths, trace=None):
+                    tb_lengths, tracer=None, spans=None):
         """Generator process: the interpreter loop of paper Figure 5."""
         cfg = self.config
         machine = self.topology.machine
@@ -365,12 +422,16 @@ class IrSimulator:
                     yield ("delay", cfg.semaphore_overhead)
                 my_sem.value = tile * n + step + 1
                 loop.notify(my_sem.signal)
-                if trace is not None:
-                    trace.append(TraceEntry(
-                        start_us=instr_start, end_us=loop.now, rank=rank,
-                        tb_id=tb.tb_id, tile=tile, step=step,
-                        op=instr.op.value,
-                    ))
+                if tracer is not None:
+                    span = tracer.emit(
+                        instr.op.value, instr_start, loop.now,
+                        cat="instr",
+                        track=(f"rank {rank}", f"tb {tb.tb_id}"),
+                        track_ids=(rank, tb.tb_id),
+                        rank=rank, tb=tb.tb_id, channel=tb.channel,
+                        step=step, tile=tile, nbytes=nbytes,
+                    )
+                    spans.append(span)
 
     def _spawn_slot_free(self, loop: EventLoop, conn: _Connection,
                          seq: int, when: float) -> None:

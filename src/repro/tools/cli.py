@@ -1,4 +1,4 @@
-"""The ``python -m repro.tools`` command line.
+"""The ``repro-tools`` / ``python -m repro.tools`` command line.
 
 Subcommands:
 
@@ -7,13 +7,18 @@ Subcommands:
 * ``simulate`` — compile and run one (algorithm, topology, size) point,
   printing latency and algorithm bandwidth.
 * ``sweep``    — latency across a size grid, optionally against NCCL.
+* ``trace``    — compile + simulate with the observability tracer on
+  and write a ``chrome://tracing`` JSON, printing the per-pass compile
+  table, a flamegraph-style summary, and the runtime metrics.
 
 Example::
 
-    python -m repro.tools compile ring_allreduce --ranks 8 \
+    repro-tools compile ring_allreduce --ranks 8 \
         --channels 4 --instances 8 --protocol LL --format xml
-    python -m repro.tools simulate hierarchical_allreduce \
+    repro-tools simulate hierarchical_allreduce \
         --topology ndv4 --nodes 2 --size 64MB
+    repro-tools trace ring_allreduce --ranks 8 --size 1MB \
+        --out ring_trace.json
 """
 
 from __future__ import annotations
@@ -26,8 +31,10 @@ from ..analysis.sweep import format_size, size_grid
 from ..core.compiler import CompilerOptions, compile_program
 from ..core.visualize import describe_ir, ir_dot
 from ..nccl.selector import NcclModel
+from ..observe import (Tracer, flame_text, metrics_dict, metrics_text,
+                       write_chrome_trace)
 from ..runtime.executor import IrExecutor
-from ..runtime.simulator import IrSimulator
+from ..runtime.simulator import IrSimulator, SimConfig
 from ..topology import dgx1, dgx2, generic, ndv4
 from .. import algorithms
 
@@ -128,36 +135,83 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def _compile(args) -> int:
     topology = build_topology(args)
     program = build_algorithm(args)
-    ir = compile_program(program, CompilerOptions(
+    algo = compile_program(program, CompilerOptions(
         max_threadblocks=topology.machine.sm_count
     ))
     if args.check:
-        IrExecutor(ir, program.collective).run_and_check()
+        IrExecutor(algo.ir, algo.collective).run_and_check()
         print("# data check passed", file=sys.stderr)
     if args.format == "xml":
-        print(ir.to_xml())
+        print(algo.ir.to_xml())
     elif args.format == "json":
-        print(ir.to_json(indent=2))
+        print(algo.ir.to_json(indent=2))
     elif args.format == "dot":
-        print(ir_dot(ir))
+        print(ir_dot(algo.ir))
     else:
-        print(describe_ir(ir))
+        print(describe_ir(algo.ir))
     return 0
 
 
 def _simulate(args) -> int:
     topology = build_topology(args)
     program = build_algorithm(args)
-    ir = compile_program(program, CompilerOptions(
+    algo = compile_program(program, CompilerOptions(
         max_threadblocks=topology.machine.sm_count
     ))
     size = parse_size(args.size)
-    chunks = program.collective.sizing_chunks()
-    result = IrSimulator(ir, topology).run(chunk_bytes=size / chunks)
+    result = IrSimulator(algo.ir, topology).run(
+        chunk_bytes=size / algo.sizing_chunks()
+    )
     print(f"{program.name} on {topology!r}")
     print(f"  buffer: {format_size(size)}  latency: "
           f"{result.time_us:.1f} us  algbw: "
           f"{result.algbw_gbps(size):.1f} GB/s  tiles: {result.tiles}")
+    return 0
+
+
+def _pass_table(algo) -> str:
+    """The compile-time span summary as an aligned text table."""
+    lines = [f"{'pass':<12s} {'wall us':>10s}  counters"]
+    for name, row in algo.compile_summary.items():
+        counters = "  ".join(
+            f"{key}={value}" for key, value in row.items()
+            if key != "duration_us"
+        )
+        lines.append(f"{name:<12s} {row['duration_us']:>10.1f}  {counters}")
+    return "\n".join(lines)
+
+
+def _trace(args) -> int:
+    topology = build_topology(args)
+    program = build_algorithm(args)
+    tracer = Tracer()
+    algo = compile_program(program, CompilerOptions(
+        max_threadblocks=topology.machine.sm_count, trace=tracer,
+    ))
+    size = parse_size(args.size)
+    result = IrSimulator(
+        algo.ir, topology, config=SimConfig(tracer=tracer)
+    ).run(chunk_bytes=size / algo.sizing_chunks())
+
+    out = args.out or f"{args.algorithm}_trace.json"
+    path = write_chrome_trace(out, tracer)
+    print(f"{program.name} on {topology!r}: {result.time_us:.1f} us "
+          f"for {format_size(size)}")
+    print(f"# chrome trace written to {path} "
+          "(open in chrome://tracing or https://ui.perfetto.dev)")
+    print("\n== compiler passes ==")
+    print(_pass_table(algo))
+    print("\n== span summary ==")
+    print(flame_text(tracer, max_depth=args.depth))
+    metrics = metrics_dict(tracer, result)
+    print("\n== metrics ==")
+    print(metrics_text(metrics))
+    if args.metrics:
+        import json as _json
+        from pathlib import Path as _Path
+
+        _Path(args.metrics).write_text(_json.dumps(metrics, indent=2))
+        print(f"# metrics written to {args.metrics}", file=sys.stderr)
     return 0
 
 
@@ -203,8 +257,9 @@ def _sweep(args) -> int:
 
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.tools",
-        description="Compile, inspect, and simulate MSCCLang algorithms.",
+        prog="repro-tools",
+        description="Compile, inspect, simulate, and trace MSCCLang "
+                    "algorithms.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -224,6 +279,26 @@ def main(argv: Optional[list] = None) -> int:
     _add_common(sim_parser)
     sim_parser.add_argument("--size", default="1MB")
     sim_parser.set_defaults(func=_simulate)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="compile + simulate with tracing; write a Chrome trace",
+    )
+    _add_common(trace_parser)
+    trace_parser.add_argument("--size", default="1MB")
+    trace_parser.add_argument(
+        "--out", default=None,
+        help="Chrome-trace JSON path (default: <algorithm>_trace.json)",
+    )
+    trace_parser.add_argument(
+        "--metrics", default=None,
+        help="also write the metrics dict as JSON to this path",
+    )
+    trace_parser.add_argument(
+        "--depth", type=int, default=2,
+        help="max depth of the printed span summary tree",
+    )
+    trace_parser.set_defaults(func=_trace)
 
     report_parser = sub.add_parser(
         "report", help="assemble the evaluation report from results/"

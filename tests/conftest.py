@@ -41,4 +41,4 @@ def ring4():
 @pytest.fixture
 def ring4_ir(ring4):
     """The compiled IR of the 4-rank ring."""
-    return compile_program(ring4, CompilerOptions())
+    return compile_program(ring4, CompilerOptions()).ir

@@ -109,15 +109,20 @@ class TestIrTimer:
 class TestRegistry:
     def _registry(self):
         program = build_ring_allreduce(4)
-        ir = compile_program(program, CompilerOptions())
+        algo = compile_program(program, CompilerOptions())
         registry = AlgorithmRegistry("allreduce")
-        registry.register(ir, min_bytes=0, max_bytes=MiB, label="small")
-        return registry, ir
+        registry.register(algo, min_bytes=0, max_bytes=MiB, label="small")
+        return registry, algo
 
     def test_selects_by_size(self):
-        registry, ir = self._registry()
-        assert registry.select(512 * KiB) is ir
+        registry, algo = self._registry()
+        assert registry.select(512 * KiB) is algo.ir
         assert registry.selected_label(512 * KiB) == "small"
+
+    def test_sizing_adopted_from_compiled_algorithm(self):
+        registry, algo = self._registry()
+        entry = registry.algorithms[0]
+        assert entry.sizing_chunks == algo.sizing_chunks()
 
     def test_fallback_used_outside_ranges(self):
         registry, ir = self._registry()
@@ -143,11 +148,12 @@ class TestRegistry:
             registry.register(ir, min_bytes=10, max_bytes=5)
 
     def test_first_match_wins(self):
-        registry, ir = self._registry()
+        registry, algo = self._registry()
         program2 = build_ring_allreduce(4, instances=2)
-        ir2 = compile_program(program2, CompilerOptions())
-        registry.register(ir2, min_bytes=0, max_bytes=MiB, label="later")
-        assert registry.select(KiB) is ir
+        algo2 = compile_program(program2, CompilerOptions())
+        registry.register(algo2, min_bytes=0, max_bytes=MiB,
+                          label="later")
+        assert registry.select(KiB) is algo.ir
 
 
 class TestEndToEndModel:

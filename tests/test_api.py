@@ -1,5 +1,7 @@
 """Tests for the NCCL-like Communicator facade."""
 
+import warnings
+
 import pytest
 
 from repro.algorithms import ring_allgather, ring_allreduce
@@ -16,9 +18,8 @@ MiB = 1024 * 1024
 def communicator():
     comm = Communicator(ndv4(1))
     program = ring_allreduce(8, channels=4, instances=8, protocol="LL")
-    ir = compile_program(program, CompilerOptions(max_threadblocks=108))
-    comm.register(ir, program.collective, min_bytes=0,
-                  max_bytes=2 * MiB, label="ring-ll")
+    algo = compile_program(program, CompilerOptions(max_threadblocks=108))
+    comm.register(algo, min_bytes=0, max_bytes=2 * MiB, label="ring-ll")
     return comm
 
 
@@ -45,10 +46,10 @@ class TestSelection:
     def test_allgather_served_when_registered(self):
         comm = Communicator(ndv4(1))
         program = ring_allgather(8, channels=2, instances=4)
-        ir = compile_program(
+        algo = compile_program(
             program, CompilerOptions(max_threadblocks=108)
         )
-        comm.register(ir, program.collective, label="ag")
+        comm.register(algo, label="ag")
         result = comm.all_gather(4 * MiB)
         assert result.time_us > 0
         assert comm.history[-1].algorithm == "ag"
@@ -56,9 +57,33 @@ class TestSelection:
     def test_rank_mismatch_rejected(self):
         comm = Communicator(ndv4(2))
         program = ring_allreduce(8)
-        ir = compile_program(program)
+        algo = compile_program(program)
         with pytest.raises(RuntimeConfigError, match="ranks"):
-            comm.register(ir, program.collective)
+            comm.register(algo)
+
+    def test_bare_ir_rejected(self, communicator):
+        program = ring_allreduce(8)
+        algo = compile_program(program)
+        with pytest.raises(RuntimeConfigError, match="CompiledAlgorithm"):
+            communicator.register(algo.ir)
+
+    def test_deprecated_pair_still_registers(self):
+        comm = Communicator(ndv4(1))
+        program = ring_allreduce(8, channels=4, instances=8,
+                                 protocol="LL")
+        algo = compile_program(
+            program, CompilerOptions(max_threadblocks=108)
+        )
+        # Not pytest.warns: it must also pass under
+        # -W error::DeprecationWarning in CI.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            comm.register(algo.ir, program.collective, min_bytes=0,
+                          max_bytes=2 * MiB, label="old-shape")
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        comm.all_reduce(256 * KiB)
+        assert comm.history[-1].algorithm == "old-shape"
 
 
 class TestHistory:
@@ -79,8 +104,22 @@ class TestHistory:
         communicator.all_reduce(2 * KiB)
         communicator.all_reduce(64 * MiB)
         summary = communicator.summary()
-        assert "ring-ll" in summary
-        assert "nccl-fallback" in summary
+        row = summary["allreduce"]
+        assert row["calls"] == 3
+        assert row["total_us"] == pytest.approx(
+            communicator.total_time_us()
+        )
+        algos = row["algorithms"]
+        assert algos["ring-ll"]["calls"] == 2
+        assert algos["nccl-fallback"]["calls"] == 1
+
+    def test_summary_text_renders_table(self, communicator):
+        communicator.all_reduce(KiB)
+        communicator.all_reduce(64 * MiB)
+        text = communicator.summary_text()
+        assert "ring-ll" in text
+        assert "nccl-fallback" in text
+        assert "allreduce" in text
 
 
 class TestAutotuneIntegration:
