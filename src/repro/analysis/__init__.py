@@ -16,7 +16,8 @@ from .bounds import (
     efficiency,
     reducescatter_bound,
 )
-from .report import (build_report, collect_metrics, collect_results,
+from .report import (build_report, collect_diagnoses, collect_metrics,
+                     collect_results, diagnosis_markdown,
                      efficiency_audit, metrics_markdown)
 from .end_to_end import (
     CollectiveCall,
@@ -48,7 +49,9 @@ __all__ = [
     "alltoall_bound",
     "bound_for",
     "build_report",
+    "collect_diagnoses",
     "collect_metrics",
+    "diagnosis_markdown",
     "metrics_markdown",
     "collect_results",
     "efficiency_audit",

@@ -5,8 +5,10 @@
 markdown document with a header, an efficiency audit (how close the
 headline algorithms get to the analytic alpha-beta floors), and the
 tables in paper order. Observability metrics dumped by
-``repro-tools trace --metrics results/<name>.metrics.json`` are folded
-in as markdown tables. Also exposed as ``repro-tools report``.
+``repro-tools trace --metrics results/<name>.metrics.json`` and
+diagnoses dumped by ``repro-tools diagnose --json
+results/<name>.diagnose.json`` are folded in as markdown tables. Also
+exposed as ``repro-tools report``.
 """
 
 from __future__ import annotations
@@ -102,6 +104,63 @@ def metrics_markdown(metrics: Dict) -> str:
     return "\n".join(lines).rstrip()
 
 
+def diagnosis_markdown(diag: Dict) -> str:
+    """A diagnosis dict (see :func:`repro.observe.diagnosis_dict`) as a
+    markdown bottleneck table with hints."""
+    from ..observe.diagnose import CATEGORY_LABELS
+
+    lines: List[str] = []
+    time_us = diag.get("time_us", 0.0)
+    header = f"Critical path: {time_us:.1f} us"
+    if diag.get("algorithm"):
+        header += f" for `{diag['algorithm']}`"
+    if diag.get("size_bytes"):
+        header += f" at {format_size(diag['size_bytes'])}"
+    lines += [header + ".", ""]
+    attribution = diag.get("attribution", {})
+    if attribution:
+        total = max(time_us, 1e-12)
+        lines += ["| bottleneck | us | share |", "|---|---|---|"]
+        ranked = sorted(attribution.items(), key=lambda kv: -kv[1])
+        for kind, us in ranked:
+            if us <= 0:
+                continue
+            marker = " **(dominant)**" if kind == diag.get(
+                "dominant") else ""
+            lines.append(
+                f"| {CATEGORY_LABELS.get(kind, kind)}{marker} | "
+                f"{us:.1f} | {us / total:.0%} |"
+            )
+        lines.append("")
+    channel_share = diag.get("channel_share", {})
+    if channel_share:
+        shares = ", ".join(
+            f"ch{ch}: {share:.0%}"
+            for ch, share in sorted(channel_share.items())
+        )
+        lines += [f"Critical-path time by channel: {shares}.", ""]
+    hints = diag.get("hints", [])
+    if hints:
+        lines += [f"- {hint}" for hint in hints]
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def collect_diagnoses(results_dir: Path) -> Dict[str, Dict]:
+    """name -> parsed diagnosis dict for every ``*.diagnose.json``."""
+    found: Dict[str, Dict] = {}
+    if not results_dir.is_dir():
+        return found
+    for path in sorted(results_dir.glob("*.diagnose.json")):
+        try:
+            found[path.name[: -len(".diagnose.json")]] = json.loads(
+                path.read_text()
+            )
+        except (OSError, json.JSONDecodeError):
+            continue  # a malformed dump should not sink the report
+    return found
+
+
 def collect_metrics(results_dir: Path) -> Dict[str, Dict]:
     """name -> parsed metrics dict for every ``*.metrics.json``."""
     found: Dict[str, Dict] = {}
@@ -150,4 +209,7 @@ def build_report(results_dir: Path,
     for name, metrics in collect_metrics(results_dir).items():
         lines += [f"## {name} — observability metrics", "",
                   metrics_markdown(metrics), ""]
+    for name, diag in collect_diagnoses(results_dir).items():
+        lines += [f"## {name} — bottleneck diagnosis", "",
+                  diagnosis_markdown(diag), ""]
     return "\n".join(lines)

@@ -22,6 +22,10 @@ from .buffers import Buffer
 # A located span of chunks: (rank, buffer, start index, count).
 Span = Tuple[int, Buffer, int, int]
 
+# A chunk origin: (rank, buffer name, index) of an input chunk present at
+# program start. Lineage sets are frozensets of these.
+Origin = Tuple[int, str, int]
+
 
 def span_locations(span: Span):
     """Iterate the (rank, buffer, index) locations a span covers."""
@@ -57,6 +61,11 @@ class ChunkOp:
     trace_index: int = 0
     deps: Set[int] = field(default_factory=set)
     true_deps: Set[int] = field(default_factory=set)
+    # Origin chunks whose data flows through this op (see ``Origin``).
+    lineage: frozenset = frozenset()
+    # Origins read from ``src`` only: what actually travels on a remote
+    # reduce (the accumulator's own origins never leave the dst rank).
+    src_lineage: frozenset = frozenset()
 
     @property
     def is_local(self) -> bool:
@@ -80,6 +89,12 @@ class ChunkDAG:
         # Per location bookkeeping for dependence computation.
         self._last_writer: Dict[Tuple[int, Buffer, int], int] = {}
         self._readers_since_write: Dict[Tuple[int, Buffer, int], Set[int]] = {}
+        # Per location origin-chunk lineage (dataflow provenance).
+        self._lineage: Dict[Tuple[int, Buffer, int], frozenset] = {}
+
+    def _location_lineage(self, loc: Tuple[int, Buffer, int]) -> frozenset:
+        """Origins currently stored at a location (empty if untouched)."""
+        return self._lineage.get(loc, frozenset())
 
     def _new_op(self, kind: str, src: Optional[Span], dst: Optional[Span],
                 channel: Optional[int],
@@ -119,6 +134,14 @@ class ChunkDAG:
         """Record a source node for input chunks present at start."""
         op = self._new_op("start", None, span, None, None)
         self._record_write(op, span)
+        # Each start location is its own lineage origin.
+        origins = set()
+        for (rank, buffer, index) in span_locations(span):
+            origin = frozenset({(rank, buffer.value, index)})
+            self._lineage[(rank, buffer, index)] = origin
+            origins |= origin
+        op.lineage = frozenset(origins)
+        op.src_lineage = op.lineage
         # Start nodes are not real writes for WAR purposes; reset readers.
         return op
 
@@ -128,6 +151,15 @@ class ChunkDAG:
         op = self._new_op("copy", src, dst, channel, parallel)
         self._record_read(op, src)
         self._record_write(op, dst)
+        # Positional dataflow: dst location i takes src location i's set.
+        moved = set()
+        for src_loc, dst_loc in zip(span_locations(src),
+                                    span_locations(dst)):
+            origins = self._location_lineage(src_loc)
+            self._lineage[dst_loc] = origins
+            moved |= origins
+        op.lineage = frozenset(moved)
+        op.src_lineage = op.lineage
         return op
 
     def add_reduce(self, src: Span, dst: Span, channel: Optional[int],
@@ -137,6 +169,18 @@ class ChunkDAG:
         self._record_read(op, src)
         self._record_read(op, dst)
         self._record_write(op, dst)
+        # The accumulator keeps its own origins and gains the source's.
+        merged = set()
+        read = set()
+        for src_loc, dst_loc in zip(span_locations(src),
+                                    span_locations(dst)):
+            incoming = self._location_lineage(src_loc)
+            origins = incoming | self._location_lineage(dst_loc)
+            self._lineage[dst_loc] = origins
+            merged |= origins
+            read |= incoming
+        op.lineage = frozenset(merged)
+        op.src_lineage = frozenset(read)
         return op
 
     # -- queries ---------------------------------------------------------

@@ -125,6 +125,9 @@ def _fuse_pair(receiver: Instruction, send: Instruction,
 
     receiver.send_peer = send.send_peer
     receiver.send_match = send.send_match
+    receiver.lineage |= send.lineage
+    receiver.fused_ids.append(send.instr_id)
+    receiver.fused_ids.extend(send.fused_ids)
     if receiver.channel_directive is None:
         receiver.channel_directive = send.channel_directive
     remote_recv = by_id[send.send_match]

@@ -92,6 +92,11 @@ class Instruction:
     send_match: Optional[int] = None  # recv-side instruction id
     recv_match: Optional[int] = None  # send-side instruction id
     overwritten: bool = False  # dst later fully overwritten
+    # Origin chunks (rank, buffer name, index) whose data this
+    # instruction moves; fusion unions the absorbed send's set in.
+    lineage: frozenset = frozenset()
+    # instr_ids of sends absorbed into this instruction by fusion.
+    fused_ids: List[int] = field(default_factory=list)
 
     @property
     def sends(self) -> bool:

@@ -45,6 +45,10 @@ class IrInstruction:
     depends: List[Tuple[int, int]] = field(default_factory=list)
     has_dep: bool = False  # some other thread block waits on this step
     recv_seq: Optional[int] = None
+    # Chunk lineage: origin chunks (rank, buffer name, index) whose data
+    # this instruction moves. JSON serializes it as lists; XML as a
+    # compact extension attribute ("rank:buffer:index,..." per step).
+    lineage: Optional[Tuple[Tuple[int, str, int], ...]] = None
 
     def to_dict(self) -> dict:
         def span(s):
@@ -63,6 +67,8 @@ class IrInstruction:
             "depends": list(self.depends),
             "has_dep": self.has_dep,
             "recv_seq": self.recv_seq,
+            "lineage": (None if self.lineage is None
+                        else [list(origin) for origin in self.lineage]),
         }
 
 
@@ -220,6 +226,9 @@ class MscclIr:
                         depends=[tuple(d) for d in idx["depends"]],
                         has_dep=idx["has_dep"],
                         recv_seq=idx.get("recv_seq"),
+                        lineage=(None if idx.get("lineage") is None
+                                 else tuple(tuple(o)
+                                            for o in idx["lineage"])),
                     ))
                 gpu.threadblocks.append(tb)
             ir.gpus.append(gpu)
@@ -272,6 +281,16 @@ class MscclIr:
                             for tb_id, dep_step in zip(dep_ids, dep_steps)
                         ]
                     seq = step_el.get("seq")
+                    lineage = None
+                    if step_el.get("lineage"):
+                        lineage = tuple(
+                            (int(rank), buf, int(index))
+                            for rank, buf, index in (
+                                origin.split(":")
+                                for origin in
+                                step_el.get("lineage").split(",")
+                            )
+                        )
                     tb.instructions.append(IrInstruction(
                         step=int(step_el.get("step")),
                         op=Op(step_el.get("type")),
@@ -283,6 +302,7 @@ class MscclIr:
                         depends=depends,
                         has_dep=step_el.get("hasdep") == "1",
                         recv_seq=None if seq is None else int(seq),
+                        lineage=lineage,
                     ))
                 gpu.threadblocks.append(tb)
             ir.gpus.append(gpu)
@@ -340,6 +360,11 @@ class MscclIr:
                         attrs["hasdep"] = "1"
                     if instr.recv_seq is not None:
                         attrs["seq"] = str(instr.recv_seq)
+                    if instr.lineage:
+                        attrs["lineage"] = ",".join(
+                            f"{rank}:{buf}:{index}"
+                            for rank, buf, index in instr.lineage
+                        )
                     ElementTree.SubElement(tb_el, "step", attrs)
         ElementTree.indent(root)
         return ElementTree.tostring(root, encoding="unicode")

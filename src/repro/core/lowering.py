@@ -164,6 +164,7 @@ def _expand_op(idag: InstructionDAG, tracker: _LocationTracker,
         instance=(k, total),
         chunk_op_id=op.op_id,
         trace_key=(op.trace_index, k),
+        lineage=op.lineage,
     )
 
     if op.is_local:
@@ -173,8 +174,11 @@ def _expand_op(idag: InstructionDAG, tracker: _LocationTracker,
         _record_instruction(tracker, instr)
         return
 
+    # A remote reduce's send moves only the source span's data; the
+    # accumulator's own origins never leave the destination rank.
+    send_common = dict(common, lineage=op.src_lineage)
     send = idag.new(rank=src_rank, op=Op.SEND, src=src_span,
-                    send_peer=dst_rank, **common)
+                    send_peer=dst_rank, **send_common)
     _record_instruction(tracker, send)
     if op.kind == "copy":
         recv = idag.new(rank=dst_rank, op=Op.RECV, dst=dst_span,

@@ -439,6 +439,8 @@ def schedule(idag: InstructionDAG, *, name: str, collective_name: str,
                     frac_lo=instr.frac_lo,
                     frac_hi=instr.frac_hi,
                     depends=dep_list,
+                    lineage=(tuple(sorted(instr.lineage))
+                             if instr.lineage else None),
                 )
                 ir_tb.instructions.append(ir_instr)
                 ir_instrs[instr.instr_id] = ir_instr

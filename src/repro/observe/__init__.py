@@ -17,16 +17,38 @@ on a ("rank R", "tb T") track; FIFO stalls and semaphore waits are
 counters sampled from the event loop. See docs/observability.md.
 """
 
+from .diagnose import (
+    Diagnosis,
+    JourneyHop,
+    chunk_journey,
+    diagnose,
+    diagnose_text,
+    diagnosis_dict,
+    journey_text,
+)
 from .export import chrome_trace, flame_text, write_chrome_trace
+from .graph import Edge, ExecNode, ExecutionGraph, PathStep, Segment
 from .metrics import metrics_dict, metrics_text
 from .tracer import CounterSample, Span, Tracer, maybe_span
 
 __all__ = [
     "CounterSample",
+    "Diagnosis",
+    "Edge",
+    "ExecNode",
+    "ExecutionGraph",
+    "JourneyHop",
+    "PathStep",
+    "Segment",
     "Span",
     "Tracer",
     "chrome_trace",
+    "chunk_journey",
+    "diagnose",
+    "diagnose_text",
+    "diagnosis_dict",
     "flame_text",
+    "journey_text",
     "maybe_span",
     "metrics_dict",
     "metrics_text",

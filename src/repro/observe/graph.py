@@ -1,0 +1,320 @@
+"""The execution graph: happens-before edges under the span stream.
+
+The simulator (with tracing enabled) records one :class:`ExecNode` per
+executed instruction occurrence, tiled into :class:`Segment`s that
+partition the node's wall-clock interval by what the thread block was
+doing (fixed overhead, copy-engine compute, wire streaming, bandwidth
+queueing) or what it was blocked on (semaphore wait, FIFO arrival, slot
+back-pressure). Wait segments carry the *cause*: the node whose
+completion released them. Explicit :class:`Edge`s record the
+dependency structure (FIFO producer->consumer, semaphore signal->wait,
+slot free->reuse); same-thread-block program order is implicit in node
+keys and available via :meth:`ExecutionGraph.iter_program_edges`.
+
+:meth:`ExecutionGraph.critical_path` walks backwards from the
+last-finishing instruction, at every blocked interval jumping to the
+blocking node, and emits a chain of :class:`PathStep`s that exactly
+partitions ``[0, elapsed]`` — so per-category attribution sums to the
+simulated time by construction, unlike the top-k span heuristic it
+replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+# (rank, tb, tile, step) — identifies one executed instruction occurrence.
+NodeKey = Tuple[int, int, int, int]
+
+# Segment/step kinds that mean "blocked, waiting on another node".
+WAIT_KINDS = frozenset({"sem_wait", "fifo_stall", "slot_wait"})
+
+# Every category a PathStep / attribution bucket can carry.
+CATEGORIES = (
+    "compute", "link", "queue", "fifo_stall", "sem_wait", "slot_wait",
+    "overhead", "launch",
+)
+
+_EPS = 1e-9
+
+
+class Segment:
+    """One homogeneous sub-interval of an ExecNode's execution."""
+
+    __slots__ = ("kind", "start_us", "end_us", "cause", "detail")
+
+    def __init__(self, kind: str, start_us: float, end_us: float,
+                 cause: Optional[NodeKey] = None,
+                 detail: Optional[dict] = None):
+        self.kind = kind
+        self.start_us = start_us
+        self.end_us = end_us
+        self.cause = cause
+        self.detail = detail
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Segment({self.kind}, "
+                f"[{self.start_us:.3f}..{self.end_us:.3f}))")
+
+
+class ExecNode:
+    """One executed instruction occurrence with its segment tiling."""
+
+    __slots__ = ("key", "op", "channel", "nbytes", "start_us", "end_us",
+                 "segments", "lineage")
+
+    def __init__(self, key: NodeKey, op: str, channel: int, nbytes: float,
+                 start_us: float, end_us: float,
+                 segments: List[Segment], lineage: frozenset):
+        self.key = key
+        self.op = op
+        self.channel = channel
+        self.nbytes = nbytes
+        self.start_us = start_us
+        self.end_us = end_us
+        self.segments = segments
+        self.lineage = lineage
+
+    @property
+    def rank(self) -> int:
+        return self.key[0]
+
+    @property
+    def tb(self) -> int:
+        return self.key[1]
+
+    @property
+    def tile(self) -> int:
+        return self.key[2]
+
+    @property
+    def step(self) -> int:
+        return self.key[3]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExecNode(r{self.rank}/tb{self.tb} tile{self.tile} "
+                f"step{self.step} {self.op} "
+                f"[{self.start_us:.3f}..{self.end_us:.3f}))")
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One recorded happens-before edge between two nodes."""
+
+    kind: str  # "fifo" | "sem" | "slot"
+    src: Optional[NodeKey]
+    dst: NodeKey
+    t_us: float  # when the edge was observed (dst's wake / consume time)
+
+
+@dataclass
+class PathStep:
+    """One interval of the critical path, attributed to a category."""
+
+    kind: str
+    start_us: float
+    end_us: float
+    node: Optional[NodeKey] = None  # owning instruction, if any
+    label: str = ""  # e.g. "r0->r1 ch0" for transfer intervals
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class ExecutionGraph:
+    """All nodes, edges, and the derived critical path of one run."""
+
+    nodes: Dict[NodeKey, ExecNode] = field(default_factory=dict)
+    edges: List[Edge] = field(default_factory=list)
+    elapsed_us: float = 0.0  # total reported time (launch included)
+    launch_us: float = 0.0  # kernel launch overhead portion
+    _steps_per_tb: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    _path: Optional[List[PathStep]] = field(default=None, repr=False)
+    # How many times the path crossed each edge kind (plus program order).
+    crossings: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def core_elapsed_us(self) -> float:
+        """Simulated time excluding the kernel launch overhead."""
+        return self.elapsed_us - self.launch_us
+
+    def add_node(self, node: ExecNode) -> None:
+        self.nodes[node.key] = node
+        tb_key = (node.key[0], node.key[1])
+        self._steps_per_tb[tb_key] = max(
+            self._steps_per_tb.get(tb_key, 0), node.key[3] + 1
+        )
+        self._path = None
+
+    def finalize(self, elapsed_us: float, launch_us: float) -> None:
+        self.elapsed_us = elapsed_us
+        self.launch_us = launch_us
+        self._path = None
+
+    # -- structure queries -------------------------------------------------
+    def iter_program_edges(self) -> Iterator[Tuple[NodeKey, NodeKey]]:
+        """Same-thread-block program-order edges (implicit in keys)."""
+        for key in self.nodes:
+            pred = self._program_pred(key)
+            if pred is not None:
+                yield (pred, key)
+
+    def _program_pred(self, key: NodeKey) -> Optional[NodeKey]:
+        rank, tb, tile, step = key
+        if step > 0:
+            pred = (rank, tb, tile, step - 1)
+        elif tile > 0:
+            pred = (rank, tb, tile - 1,
+                    self._steps_per_tb.get((rank, tb), 1) - 1)
+        else:
+            return None
+        return pred if pred in self.nodes else None
+
+    # -- critical path -----------------------------------------------------
+    def critical_path(self) -> List[PathStep]:
+        """The dependency chain ending at the last-finishing node.
+
+        The returned steps are in time order and exactly partition
+        ``[0, elapsed_us]``: summing their durations reproduces the
+        simulated time, and summing per ``kind`` gives the bottleneck
+        attribution.
+        """
+        if self._path is not None:
+            return self._path
+        steps: List[PathStep] = []
+        crossings = {"fifo": 0, "sem": 0, "slot": 0, "program": 0}
+        if self.nodes:
+            node = max(self.nodes.values(),
+                       key=lambda n: (n.end_us, n.key))
+            self._walk(node, steps, crossings)
+        if self.launch_us > _EPS:
+            steps.append(PathStep("launch", self.core_elapsed_us,
+                                  self.elapsed_us, None, "kernel launch"))
+        steps.sort(key=lambda s: (s.start_us, s.end_us))
+        self.crossings = crossings
+        self._path = steps
+        return steps
+
+    def _walk(self, node: ExecNode, steps: List[PathStep],
+              crossings: Dict[str, int]) -> None:
+        emit = steps.append
+        T = node.end_us
+        # Each iteration either emits a step ending at T (and lowers T)
+        # or hops to another node at the same T; hops follow acyclic
+        # happens-before edges, so the guard is belt and braces.
+        guard = 10 * len(self.nodes) + 1000
+        while T > _EPS and node is not None and guard > 0:
+            guard -= 1
+            seg = self._segment_before(node, T)
+            if seg is None:
+                if T > node.start_us + _EPS:
+                    # Interval not covered by any segment (e.g. all
+                    # overheads configured to zero): charge the node.
+                    emit(PathStep("overhead", node.start_us, T, node.key))
+                    T = node.start_us
+                    continue
+                pred_key = self._program_pred(node.key)
+                if pred_key is None:
+                    break
+                crossings["program"] += 1
+                node = self.nodes[pred_key]
+                continue
+            if seg.end_us < T - _EPS:
+                # Gap between the last segment and T: charge the node.
+                emit(PathStep("overhead", seg.end_us, T, node.key))
+                T = seg.end_us
+                continue
+            lo = seg.start_us
+            if seg.kind not in WAIT_KINDS:
+                if T - lo > _EPS:
+                    label = (seg.detail or {}).get("label", "")
+                    emit(PathStep(seg.kind, lo, T, node.key, label))
+                T = lo
+                continue
+            cause = (self.nodes.get(seg.cause)
+                     if seg.cause is not None else None)
+            if cause is None:
+                # Cause outside the graph (should not happen): keep the
+                # wait attributed to this node so the partition holds.
+                if T - lo > _EPS:
+                    emit(PathStep(seg.kind, lo, T, node.key))
+                T = lo
+                continue
+            if seg.kind == "fifo_stall":
+                T, node = self._cross_fifo(seg, cause, node, T, emit,
+                                           crossings)
+            else:
+                # sem_wait / slot_wait: the wait ended the instant the
+                # cause released it, so the whole blocked interval is
+                # inside the cause's own execution — enter it there.
+                anchor = min(T, cause.end_us)
+                if T - anchor > _EPS:
+                    emit(PathStep(seg.kind, anchor, T, node.key))
+                crossings["sem" if seg.kind == "sem_wait" else "slot"] += 1
+                T, node = anchor, cause
+
+        if T > _EPS:
+            # Residual before the earliest reachable node (defensive).
+            emit(PathStep("overhead", 0.0, T, None))
+
+    def _cross_fifo(self, seg: Segment, cause: ExecNode, node: ExecNode,
+                    T: float, emit, crossings: Dict[str, int]):
+        """Attribute a blocked-on-FIFO-arrival interval.
+
+        The message left the producer at ``stream_start``; the interval
+        from there to the wake-up splits into bandwidth-cap queueing,
+        wire serialization (+ alpha), and a residual FIFO stall
+        (in-order delivery clamping / producer gating). The walk then
+        continues inside the producer at ``stream_start``.
+        """
+        msg = seg.detail or {}
+        anchor = msg.get("stream_start")
+        label = msg.get("label", "")
+        crossings["fifo"] += 1
+        if anchor is None or anchor >= T - _EPS:
+            # No transfer detail, or we entered the wait below the
+            # message's departure: hop into the producer at T.
+            anchor = min(T, cause.end_us)
+            if T - anchor > _EPS:
+                emit(PathStep("fifo_stall", anchor, T, node.key, label))
+            return anchor, cause
+        total = T - anchor
+        link_t = min(msg.get("wire_us", 0.0) + msg.get("alpha", 0.0),
+                     total)
+        queue_t = min(msg.get("queue_us", 0.0), total - link_t)
+        stall_t = total - link_t - queue_t
+        t = anchor
+        for kind, dur in (("queue", queue_t), ("link", link_t),
+                          ("fifo_stall", stall_t)):
+            if dur > _EPS:
+                emit(PathStep(kind, t, t + dur, node.key, label))
+                t += dur
+        return anchor, cause
+
+    def _segment_before(self, node: ExecNode,
+                        T: float) -> Optional[Segment]:
+        """The latest segment of ``node`` starting strictly before T."""
+        for seg in reversed(node.segments):
+            if seg.start_us < T - _EPS:
+                return seg
+        return None
+
+    # -- attribution -------------------------------------------------------
+    def attribution(self) -> Dict[str, float]:
+        """Per-category time over the critical path; sums to elapsed."""
+        totals = {kind: 0.0 for kind in CATEGORIES}
+        for step in self.critical_path():
+            totals[step.kind] = totals.get(step.kind, 0.0) \
+                + step.duration_us
+        return totals
+
+    def path_total_us(self) -> float:
+        """Total attributed time (equals ``elapsed_us`` up to epsilon)."""
+        return sum(step.duration_us for step in self.critical_path())

@@ -19,7 +19,10 @@ def metrics_dict(tracer: Tracer, result=None) -> Dict:
     ``result`` (a :class:`~repro.runtime.simulator.SimResult`) adds the
     ``links`` section: per-resource busy time and occupancy — busy
     share of the whole execution — sampled from the event loop's FCFS
-    bandwidth resources.
+    bandwidth resources. Idle links appear with ``busy_us: 0`` so a
+    dashboard can tell "unused" from "missing"; occupancy is clamped to
+    1.0 (cut-through streaming can book overlapping reservations) and
+    ``saturated: true`` flags any link that hit the clamp.
     """
     spans: Dict[str, Dict[str, float]] = {}
     for name, row in tracer.summary().items():
@@ -38,12 +41,13 @@ def metrics_dict(tracer: Tracer, result=None) -> Dict:
         elapsed = result.time_us
         links = {}
         for name, busy in sorted(result.resource_busy_us.items()):
-            if busy <= 0:
-                continue
+            raw = busy / elapsed if elapsed else 0.0
             links[name] = {
-                "busy_us": round(busy, 3),
-                "occupancy": round(busy / elapsed, 4) if elapsed else 0.0,
+                "busy_us": round(max(busy, 0.0), 3),
+                "occupancy": round(min(max(raw, 0.0), 1.0), 4),
             }
+            if raw > 1.0:
+                links[name]["saturated"] = True
         metrics["links"] = links
         metrics["sim"] = {
             "time_us": round(elapsed, 3),

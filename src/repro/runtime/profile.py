@@ -100,23 +100,50 @@ def utilization_report(result: SimResult) -> str:
 
 
 def critical_path(result: SimResult, top: int = 10) -> List[str]:
-    """The longest-running instruction occurrences, formatted.
+    """The dominant intervals of the true dependency critical path.
 
-    Not a true dependency-chain critical path (the span stream does not
-    carry edges), but the dominant instruction occurrences reliably
-    point at the bottleneck stage in practice.
+    The simulator's execution graph is walked backwards from the
+    last-finishing instruction, hopping to the blocking node across
+    every wait (see :meth:`repro.observe.ExecutionGraph.critical_path`);
+    the chain's intervals exactly partition the simulated time, each
+    attributed to a category (compute / link / queue / fifo_stall /
+    sem_wait / overhead / launch). The ``top`` largest intervals are
+    returned in time order, one formatted line each.
+
+    Results that carry spans but no graph (assembled outside the
+    simulator) fall back to the heaviest instruction occurrences.
     """
-    heaviest = sorted(
-        _instruction_spans(result),
-        key=lambda s: s.duration_us, reverse=True,
-    )[:top]
-    return [
-        f"r{s.args['rank']}/tb{s.args['tb']} tile{s.args['tile']} "
-        f"step{s.args['step']} {s.name}: "
-        f"{s.duration_us:.1f}us "
-        f"[{s.start_us:.1f}..{s.end_us:.1f}]"
-        for s in heaviest
-    ]
+    spans = _instruction_spans(result)
+    graph = result.graph
+    if graph is None:
+        heaviest = sorted(
+            spans, key=lambda s: s.duration_us, reverse=True,
+        )[:top]
+        return [
+            f"r{s.args['rank']}/tb{s.args['tb']} tile{s.args['tile']} "
+            f"step{s.args['step']} {s.name}: "
+            f"{s.duration_us:.1f}us "
+            f"[{s.start_us:.1f}..{s.end_us:.1f}]"
+            for s in heaviest
+        ]
+    steps = sorted(graph.critical_path(),
+                   key=lambda s: -s.duration_us)[:top]
+    steps.sort(key=lambda s: (s.start_us, s.end_us))
+    lines = []
+    for step in steps:
+        node = graph.nodes.get(step.node) if step.node else None
+        if node is not None:
+            where = (f"r{node.rank}/tb{node.tb} tile{node.tile} "
+                     f"step{node.step} {node.op}")
+        else:
+            where = step.label or "execution"
+        what = step.kind + (f" {step.label}" if step.label
+                            and node is not None else "")
+        lines.append(
+            f"{where} ({what}): {step.duration_us:.1f}us "
+            f"[{step.start_us:.1f}..{step.end_us:.1f}]"
+        )
+    return lines
 
 
 def timeline(result: SimResult, rank: int, width: int = 64) -> str:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.errors import SimulationError
 from ..core.instructions import Op
 from ..core.ir import MscclIr
+from ..observe.graph import Edge, ExecNode, ExecutionGraph, Segment
 from ..observe.tracer import Span, Tracer
 from ..topology.model import Resource, Topology
 from .events import EventLoop, Signal
@@ -101,6 +102,9 @@ class SimResult:
     resource_busy_us: Dict[str, float] = field(default_factory=dict)
     tracer: Optional[Tracer] = field(default=None, repr=False)
     spans: Optional[List[Span]] = field(default=None, repr=False)
+    # Happens-before structure of the execution (see
+    # :class:`repro.observe.ExecutionGraph`); populated when tracing.
+    graph: Optional[ExecutionGraph] = field(default=None, repr=False)
 
     @property
     def trace(self) -> Optional[List[TraceEntry]]:
@@ -146,7 +150,8 @@ class _Connection:
     __slots__ = ("key", "slots", "issued", "consumed_count",
                  "sends_per_tile", "arrivals", "consumed",
                  "prev_first", "prev_last",
-                 "arrival_signal", "slot_signal")
+                 "arrival_signal", "slot_signal",
+                 "messages", "freed_by")
 
     def __init__(self, key: Tuple[int, int, int], slots: int,
                  sends_per_tile: int):
@@ -161,6 +166,11 @@ class _Connection:
         self.prev_last = 0.0
         self.arrival_signal = Signal("fifo_arrival")
         self.slot_signal = Signal("fifo_slot")
+        # Execution-graph recording (only populated when tracing):
+        # seq -> transfer detail, and seq -> consumer node that freed
+        # the slot.
+        self.messages: Dict[int, dict] = {}
+        self.freed_by: Dict[int, tuple] = {}
 
     def clamp_fifo(self, first_byte: float,
                    last_byte: float) -> Tuple[float, float]:
@@ -230,11 +240,13 @@ class IrSimulator:
                 tb_lengths[key] = len(tb.instructions)
 
         spans = [] if tracer is not None else None
+        graph = ExecutionGraph() if tracer is not None else None
         for gpu in self.ir.gpus:
             for tb in gpu.threadblocks:
                 loop.spawn(self._tb_process(
                     loop, gpu.rank, tb, tiles, chunk_bytes, connections,
                     semaphores, engines, tb_lengths, tracer, spans,
+                    graph,
                 ))
 
         elapsed = loop.run()
@@ -263,6 +275,12 @@ class IrSimulator:
                 if busy_us > 0:
                     tracer.add_counter(f"link.{name}.busy_us", busy_us,
                                        t_us=elapsed)
+        if graph is not None:
+            graph.finalize(
+                elapsed,
+                machine.kernel_launch_overhead
+                if self.config.include_launch else 0.0,
+            )
         return SimResult(
             time_us=elapsed,
             tiles=tiles,
@@ -273,6 +291,7 @@ class IrSimulator:
             resource_busy_us=busy,
             tracer=tracer,
             spans=spans,
+            graph=graph,
         )
 
     # -- internals --------------------------------------------------------
@@ -322,8 +341,14 @@ class IrSimulator:
 
     def _tb_process(self, loop: EventLoop, rank: int, tb, tiles: int,
                     chunk_bytes: float, connections, semaphores, engines,
-                    tb_lengths, tracer=None, spans=None):
-        """Generator process: the interpreter loop of paper Figure 5."""
+                    tb_lengths, tracer=None, spans=None, graph=None):
+        """Generator process: the interpreter loop of paper Figure 5.
+
+        With ``graph`` present, every instruction occurrence additionally
+        records an :class:`ExecNode` whose segments tile its interval
+        (waits carry the releasing node as cause) plus the explicit
+        semaphore / FIFO / slot happens-before edges.
+        """
         cfg = self.config
         machine = self.topology.machine
         engine = engines[(rank, tb.tb_id)]
@@ -339,15 +364,36 @@ class IrSimulator:
 
         for tile in range(tiles):
             for step, instr in enumerate(tb.instructions):
+                key = (rank, tb.tb_id, tile, step)
+                segs = [] if graph is not None else None
                 instr_start = loop.now
                 yield ("delay", cfg.instruction_overhead)
+                if segs is not None and loop.now > instr_start:
+                    segs.append(Segment("overhead", instr_start, loop.now))
 
                 # Cross thread block dependencies (dep modifier).
                 for dep_tb, dep_step in instr.depends:
                     dep_sem = semaphores[(rank, dep_tb)]
-                    target = tile * tb_lengths[(rank, dep_tb)] + dep_step + 1
+                    dep_len = tb_lengths[(rank, dep_tb)]
+                    target = tile * dep_len + dep_step + 1
+                    wait_from = loop.now
                     while dep_sem.value < target:
                         yield ("wait", dep_sem.signal)
+                    if graph is not None:
+                        graph.edges.append(Edge(
+                            "sem", (rank, dep_tb, tile, dep_step), key,
+                            loop.now,
+                        ))
+                        if loop.now > wait_from:
+                            # The releaser is the most recent signaler;
+                            # its instruction ends exactly now.
+                            flat = dep_sem.value - 1
+                            cause = (rank, dep_tb, flat // dep_len,
+                                     flat % dep_len)
+                            segs.append(Segment(
+                                "sem_wait", wait_from, loop.now,
+                                cause=cause,
+                            ))
 
                 nbytes = self._instr_bytes(instr, chunk_bytes, tiles)
                 receives = instr.op in (
@@ -367,25 +413,49 @@ class IrSimulator:
                 # is then purely computational (cut-through streaming).
                 msg_last = None
                 recv_target = None
+                msg = None
                 if receives:
                     if in_conn is None:
                         raise SimulationError(f"{instr.op} with no recv peer")
                     recv_target = (
                         tile * in_conn.sends_per_tile + instr.recv_seq
                     )
+                    wait_from = loop.now
                     while recv_target not in in_conn.arrivals:
                         yield ("wait", in_conn.arrival_signal)
                     msg_last = in_conn.arrivals[recv_target]
+                    if graph is not None:
+                        msg = in_conn.messages.get(recv_target)
+                        producer = msg["producer"] if msg else None
+                        graph.edges.append(Edge(
+                            "fifo", producer, key, loop.now,
+                        ))
+                        if loop.now > wait_from:
+                            segs.append(Segment(
+                                "fifo_stall", wait_from, loop.now,
+                                cause=producer, detail=msg,
+                            ))
                 if sends:
                     if out_conn is None:
                         raise SimulationError(f"{instr.op} with no send peer")
                     send_seq = out_conn.issued
                     # The message reuses slot (seq mod slots); it must
                     # have been drained by the matching receive.
+                    wait_from = loop.now
                     while (send_seq >= out_conn.slots
                            and (send_seq - out_conn.slots)
                            not in out_conn.consumed):
                         yield ("wait", out_conn.slot_signal)
+                    if graph is not None and loop.now > wait_from:
+                        freed = out_conn.freed_by.get(
+                            send_seq - out_conn.slots
+                        )
+                        segs.append(Segment(
+                            "slot_wait", wait_from, loop.now, cause=freed,
+                        ))
+                        graph.edges.append(Edge(
+                            "slot", freed, key, loop.now,
+                        ))
                     out_conn.issued += 1
 
                 start = loop.now
@@ -396,30 +466,63 @@ class IrSimulator:
                     # place, so only reductions cost receiver time.
                     if self._direct and not reduces:
                         data_ready = max(start, msg_last)
+                        if segs is not None and data_ready > start:
+                            _transfer_segments(segs, start, data_ready,
+                                               msg)
                     else:
                         eff = reduce_eff if reduces else 1.0
                         finish = engine.reserve(start, nbytes, eff)
                         data_ready = max(finish, msg_last)
-                    self._spawn_slot_free(loop, in_conn, recv_target,
-                                          data_ready)
+                        if segs is not None:
+                            if finish > start:
+                                segs.append(Segment("compute", start,
+                                                    finish))
+                            if data_ready > finish:
+                                # Tail of the incoming message still
+                                # streaming in past the consume pass.
+                                _transfer_segments(segs, finish,
+                                                   data_ready, msg)
+                    self._spawn_slot_free(
+                        loop, in_conn, recv_target, data_ready,
+                        consumer=key if graph is not None else None,
+                    )
                 elif instr.op in (Op.COPY, Op.REDUCE):
                     eff = reduce_eff if reduces else 1.0
                     data_ready = engine.reserve(start, nbytes, eff)
+                    if segs is not None and data_ready > start:
+                        segs.append(Segment("compute", start, data_ready))
 
                 if sends:
-                    release = self._launch_transfer(
+                    release, out_msg = self._launch_transfer(
                         loop, rank, tb.send_peer, nbytes, engine,
                         out_conn, stream_start=start,
                         data_ready=data_ready,
                         fused=instr.op in FUSED_SEND_OPS,
                         message_bytes=nbytes * tiles,
+                        producer=key if graph is not None else None,
                     )
+                    if segs is not None:
+                        produce_finish = out_msg["produce_finish"]
+                        if (instr.op not in FUSED_SEND_OPS
+                                and produce_finish > start):
+                            segs.append(Segment("compute", start,
+                                                produce_finish))
+                        base = max(produce_finish, data_ready)
+                        if release > base:
+                            # Wire occupancy until the peer holds the
+                            # last byte (NVLink sends block on it).
+                            _transfer_segments(segs, base, release,
+                                               out_msg)
                     yield ("at", release)
                 else:
                     yield ("at", data_ready)
 
                 if instr.has_dep:
+                    fence_from = loop.now
                     yield ("delay", cfg.semaphore_overhead)
+                    if segs is not None and loop.now > fence_from:
+                        segs.append(Segment("overhead", fence_from,
+                                            loop.now))
                 my_sem.value = tile * n + step + 1
                 loop.notify(my_sem.signal)
                 if tracer is not None:
@@ -432,10 +535,19 @@ class IrSimulator:
                         step=step, tile=tile, nbytes=nbytes,
                     )
                     spans.append(span)
+                if graph is not None:
+                    graph.add_node(ExecNode(
+                        key, instr.op.value, tb.channel, nbytes,
+                        instr_start, loop.now, segs,
+                        frozenset(instr.lineage or ()),
+                    ))
 
     def _spawn_slot_free(self, loop: EventLoop, conn: _Connection,
-                         seq: int, when: float) -> None:
+                         seq: int, when: float,
+                         consumer: Optional[tuple] = None) -> None:
         """Free a FIFO slot once the receiver fully drained the message."""
+        if consumer is not None:
+            conn.freed_by[seq] = consumer
 
         def free():
             yield ("at", when)
@@ -448,7 +560,9 @@ class IrSimulator:
     def _launch_transfer(self, loop: EventLoop, src: int, dst: int,
                          nbytes: float, engine: Resource, conn: _Connection,
                          stream_start: float, data_ready: float,
-                         fused: bool, message_bytes: float = None) -> float:
+                         fused: bool, message_bytes: float = None,
+                         producer: Optional[tuple] = None,
+                         ) -> Tuple[float, Optional[dict]]:
         """Start one message streaming; returns when the sender unblocks.
 
         Transfers are cut-through: bytes flow through the path's shared
@@ -456,6 +570,12 @@ class IrSimulator:
         fused forwards adds only per-hop latency (alpha), not a full
         store-and-forward payload time per hop — matching how NCCL and
         the MSCCL interpreter stream FIFO slots.
+
+        With ``producer`` set (execution-graph recording), also returns
+        and files on the connection a transfer-detail dict: the sending
+        node, departure time, and the bottleneck resource's queueing
+        delay and service time, which the critical-path walk uses to
+        split blocked intervals into queue / link / FIFO-stall time.
         """
         proto = self.protocol
         path, alpha_base, cross = self.topology.path(src, dst)
@@ -481,17 +601,38 @@ class IrSimulator:
             basis = message_bytes if message_bytes else nbytes
             wire_overhead = per_message * (nbytes / basis)
         wire_finish = 0.0
+        queue_us = 0.0
+        service_us = 0.0
+        bottleneck = None
         for resource in path:
             eff = wire_eff * self._degradation(resource.name)
-            wire_finish = max(
-                wire_finish,
-                resource.reserve(stream_start, nbytes, eff,
-                                 wire_overhead),
-            )
+            finish = resource.reserve(stream_start, nbytes, eff,
+                                      wire_overhead)
+            if finish > wire_finish:
+                wire_finish = finish
+                queue_us = resource.last_queue_us
+                service_us = resource.last_service_us
+                bottleneck = resource.name
         first_byte = stream_start + alpha
         last_byte = max(wire_finish, produce_finish) + alpha
         first_byte, last_byte = conn.clamp_fifo(first_byte, last_byte)
         seq = conn.issued - 1  # our seq: issued was bumped by the caller
+        msg = None
+        if producer is not None:
+            msg = {
+                "producer": producer,
+                "seq": seq,
+                "stream_start": stream_start,
+                "first_byte": first_byte,
+                "last_byte": last_byte,
+                "produce_finish": produce_finish,
+                "queue_us": queue_us,
+                "wire_us": service_us,
+                "alpha": alpha,
+                "resource": bottleneck,
+                "label": f"r{src}->r{dst} ch{conn.key[2]}",
+            }
+            conn.messages[seq] = msg
 
         def deliver():
             yield ("at", max(first_byte, loop.now))
@@ -504,5 +645,29 @@ class IrSimulator:
         # sends occupy the thread block until the last byte is stored on
         # the peer.
         if cross:
-            return max(produce_finish, data_ready)
-        return max(last_byte - alpha, data_ready)
+            return max(produce_finish, data_ready), msg
+        return max(last_byte - alpha, data_ready), msg
+
+
+def _transfer_segments(segs: List[Segment], lo: float, hi: float,
+                       msg: Optional[dict]) -> None:
+    """Tile a wire-bound interval into queue / link / stall segments.
+
+    ``[lo, hi)`` is time an instruction spent bound to a message on the
+    wire (the streaming tail on the receive side, the occupancy until
+    last byte on the send side). The message's bottleneck-resource
+    detail splits it: FCFS queueing first, then serialization; whatever
+    remains is in-order-delivery clamping or producer gating, i.e. a
+    FIFO stall.
+    """
+    total = hi - lo
+    detail = msg or {}
+    link_t = min(detail.get("wire_us", 0.0), total)
+    queue_t = min(detail.get("queue_us", 0.0), total - link_t)
+    stall_t = total - link_t - queue_t
+    t = lo
+    for kind, dur in (("queue", queue_t), ("link", link_t),
+                      ("fifo_stall", stall_t)):
+        if dur > 0:
+            segs.append(Segment(kind, t, t + dur, detail=detail))
+            t += dur

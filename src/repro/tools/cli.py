@@ -10,6 +10,9 @@ Subcommands:
 * ``trace``    — compile + simulate with the observability tracer on
   and write a ``chrome://tracing`` JSON, printing the per-pass compile
   table, a flamegraph-style summary, and the runtime metrics.
+* ``diagnose`` — compile + simulate with tracing and run the
+  dependency-aware bottleneck analysis: exact critical-path
+  attribution, hints, and optionally a chunk's hop-by-hop journey.
 
 Example::
 
@@ -31,8 +34,9 @@ from ..analysis.sweep import format_size, size_grid
 from ..core.compiler import CompilerOptions, compile_program
 from ..core.visualize import describe_ir, ir_dot
 from ..nccl.selector import NcclModel
-from ..observe import (Tracer, flame_text, metrics_dict, metrics_text,
-                       write_chrome_trace)
+from ..observe import (Tracer, chunk_journey, diagnose, diagnose_text,
+                       diagnosis_dict, flame_text, journey_text,
+                       metrics_dict, metrics_text, write_chrome_trace)
 from ..runtime.executor import IrExecutor
 from ..runtime.simulator import IrSimulator, SimConfig
 from ..topology import dgx1, dgx2, generic, ndv4
@@ -215,6 +219,46 @@ def _trace(args) -> int:
     return 0
 
 
+def _diagnose(args) -> int:
+    topology = build_topology(args)
+    program = build_algorithm(args)
+    algo = compile_program(program, CompilerOptions(
+        max_threadblocks=topology.machine.sm_count
+    ))
+    size = parse_size(args.size)
+    result = IrSimulator(
+        algo.ir, topology, config=SimConfig(collect_trace=True)
+    ).run(chunk_bytes=size / algo.sizing_chunks())
+
+    diag = diagnose(result)
+    print(f"{program.name} on {topology!r}: {result.time_us:.1f} us "
+          f"for {format_size(size)}")
+    print()
+    print(diagnose_text(diag, top=args.top))
+    if args.chunk:
+        try:
+            rank_text, buffer_name, index_text = args.chunk.split(":")
+            rank, index = int(rank_text), int(index_text)
+        except ValueError:
+            raise SystemExit(
+                f"--chunk wants rank:buffer:index, got {args.chunk!r}"
+            )
+        hops = chunk_journey(result, rank, buffer_name, index)
+        print(f"\n== journey of chunk({rank}, {buffer_name}, "
+              f"{index}) ==")
+        print(journey_text(hops))
+    if args.json:
+        import json as _json
+        from pathlib import Path as _Path
+
+        payload = diagnosis_dict(diag)
+        payload["algorithm"] = program.name
+        payload["size_bytes"] = size
+        _Path(args.json).write_text(_json.dumps(payload, indent=2))
+        print(f"# diagnosis written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def _report(args) -> int:
     from pathlib import Path
 
@@ -299,6 +343,28 @@ def main(argv: Optional[list] = None) -> int:
         help="max depth of the printed span summary tree",
     )
     trace_parser.set_defaults(func=_trace)
+
+    diagnose_parser = sub.add_parser(
+        "diagnose",
+        help="bottleneck attribution from the execution graph",
+    )
+    _add_common(diagnose_parser)
+    diagnose_parser.add_argument("--size", default="1MB")
+    diagnose_parser.add_argument(
+        "--top", type=int, default=8,
+        help="how many critical-path intervals to print",
+    )
+    diagnose_parser.add_argument(
+        "--chunk", default=None, metavar="RANK:BUFFER:INDEX",
+        help="also print this chunk's hop-by-hop journey "
+             "(e.g. 0:input:0)",
+    )
+    diagnose_parser.add_argument(
+        "--json", default=None,
+        help="write the diagnosis (attribution, hints, path) as JSON; "
+             "name it *.diagnose.json to fold into `repro-tools report`",
+    )
+    diagnose_parser.set_defaults(func=_diagnose)
 
     report_parser = sub.add_parser(
         "report", help="assemble the evaluation report from results/"

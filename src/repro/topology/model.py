@@ -60,7 +60,8 @@ class MachineSpec:
 class Resource:
     """A FCFS bandwidth server (an NVLink port, a NIC, a copy engine)."""
 
-    __slots__ = ("name", "bandwidth", "next_free", "busy_time")
+    __slots__ = ("name", "bandwidth", "next_free", "busy_time",
+                 "last_queue_us", "last_service_us")
 
     def __init__(self, name: str, bandwidth_gbps: float):
         if bandwidth_gbps <= 0:
@@ -71,6 +72,11 @@ class Resource:
         self.bandwidth = bandwidth_gbps * _GBPS_TO_BYTES_PER_US
         self.next_free = 0.0
         self.busy_time = 0.0
+        # Breakdown of the most recent reserve(): how long the request
+        # queued behind earlier traffic, and its own service time. Read
+        # by the simulator's execution-graph recording.
+        self.last_queue_us = 0.0
+        self.last_service_us = 0.0
 
     def reserve(self, now: float, nbytes: float,
                 efficiency: float = 1.0,
@@ -85,11 +91,15 @@ class Resource:
         duration = nbytes / (self.bandwidth * efficiency) + overhead
         self.next_free = start + duration
         self.busy_time += duration
+        self.last_queue_us = start - now
+        self.last_service_us = duration
         return self.next_free
 
     def reset(self) -> None:
         self.next_free = 0.0
         self.busy_time = 0.0
+        self.last_queue_us = 0.0
+        self.last_service_us = 0.0
 
 
 class Topology:

@@ -1,0 +1,102 @@
+"""Chunk lineage: provenance through tracing, lowering, and fusion.
+
+The compiler threads each chunk's origin set (rank, buffer, index of
+the input chunks whose data it carries) from the Chunk DAG through
+lowering into the Instruction DAG and through peephole fusion into the
+MSCCL-IR. The key invariant checked here, property-style across
+algorithms and rank counts: **a fused instruction's lineage is exactly
+the union of its pre-fusion constituents' lineages** — fusion rewrites
+the instruction stream but never invents or loses provenance.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    double_binary_tree_allreduce,
+    hierarchical_allreduce,
+    ring_allreduce,
+)
+from repro.core.compiler import CompilerOptions, compile_program
+from repro.core.fusion import fuse
+from repro.core.lowering import lower
+
+# (label, program builder) x (4, 8 ranks) — the property must hold for
+# linear, tree-shaped, and hierarchical dataflow alike.
+PROGRAMS = [
+    ("ring4", lambda: ring_allreduce(4)),
+    ("ring8", lambda: ring_allreduce(8)),
+    ("tree4", lambda: double_binary_tree_allreduce(4)),
+    ("tree8", lambda: double_binary_tree_allreduce(8)),
+    ("hier4", lambda: hierarchical_allreduce(2, 2)),
+    ("hier8", lambda: hierarchical_allreduce(2, 4)),
+]
+
+
+def _lowered(program):
+    return lower(program.dag, instances=program.instances)
+
+
+@pytest.mark.parametrize(
+    "label,build", PROGRAMS, ids=[p[0] for p in PROGRAMS]
+)
+class TestFusionPreservesLineage:
+    def test_fused_lineage_is_union_of_constituents(self, label, build):
+        program = build()
+        idag = _lowered(program)
+        before = {
+            instr.instr_id: instr.lineage for instr in idag.live()
+        }
+        fuse(idag)
+        fused_any = False
+        for instr in idag.live():
+            constituents = [instr.instr_id, *instr.fused_ids]
+            expected = frozenset().union(
+                *(before[i] for i in constituents)
+            )
+            assert instr.lineage == expected, (
+                f"{label}: instruction {instr.instr_id} lineage "
+                f"diverged from its constituents {constituents}"
+            )
+            fused_any = fused_any or bool(instr.fused_ids)
+        assert fused_any, f"{label}: fusion fired on no instruction"
+
+    def test_fused_ids_are_absorbed_instructions(self, label, build):
+        program = build()
+        idag = _lowered(program)
+        all_ids = {instr.instr_id for instr in idag.live()}
+        fuse(idag)
+        live_ids = {instr.instr_id for instr in idag.live()}
+        for instr in idag.live():
+            for absorbed in instr.fused_ids:
+                assert absorbed in all_ids
+                assert absorbed not in live_ids
+
+    def test_every_origin_survives_to_ir(self, label, build):
+        # Nothing along the pipeline drops provenance: the union of
+        # lineage over the final IR equals the union before fusion.
+        program = build()
+        idag = _lowered(program)
+        before = frozenset().union(
+            *(instr.lineage for instr in idag.live())
+        )
+        algo = compile_program(build(), CompilerOptions())
+        after = set()
+        for gpu in algo.ir.gpus:
+            for tb in gpu.threadblocks:
+                for instr in tb.instructions:
+                    after |= set(instr.lineage or ())
+        assert after == set(before)
+        # Allreduce touches every rank's contribution.
+        assert {origin[0] for origin in after} == set(
+            range(program.num_ranks)
+        )
+
+
+def test_lineage_roundtrips_through_xml_and_json():
+    algo = compile_program(ring_allreduce(4), CompilerOptions())
+    from repro.core.ir import MscclIr
+
+    xml_back = MscclIr.from_xml(algo.ir.to_xml())
+    json_back = MscclIr.from_json(algo.ir.to_json())
+    assert xml_back.to_dict() == algo.ir.to_dict()
+    assert json_back.to_dict() == algo.ir.to_dict()

@@ -327,10 +327,32 @@ class TestMetrics:
         assert metrics["sim"]["instructions"] == result.instruction_count
         assert metrics["links"]
         for row in metrics["links"].values():
-            assert 0 < row["occupancy"] <= 1.0
+            assert 0 <= row["occupancy"] <= 1.0
+            assert row["busy_us"] >= 0
+        # Every simulated resource appears, including idle ones.
+        assert set(metrics["links"]) == set(result.resource_busy_us)
         assert json.loads(json.dumps(metrics)) == metrics
         text = metrics_text(metrics)
         assert "simulated" in text and "busiest links" in text
+
+    def test_metrics_occupancy_clamped(self):
+        # A busy total above elapsed time (overlapping cut-through
+        # reservations) must clamp to 1.0 and be flagged, not leak >1.
+        class FakeResult:
+            time_us = 100.0
+            resource_busy_us = {"hot": 250.0, "idle": 0.0, "ok": 40.0}
+            instruction_count = 1
+            threadblocks = 1
+            tiles = 1
+            protocol = "Simple"
+
+        metrics = metrics_dict(Tracer(), FakeResult())
+        links = metrics["links"]
+        assert links["hot"]["occupancy"] == 1.0
+        assert links["hot"]["saturated"] is True
+        assert links["idle"] == {"busy_us": 0.0, "occupancy": 0.0}
+        assert links["ok"]["occupancy"] == pytest.approx(0.4)
+        assert "saturated" not in links["ok"]
 
     def test_report_renders_metrics(self, tmp_path):
         from repro.analysis import collect_metrics, metrics_markdown
