@@ -22,7 +22,8 @@ from repro.analysis import (
     speedup_table,
     summary_lines,
 )
-from repro.core import CompilerOptions, compile_program
+from repro.core import (CompilerOptions, compile_program,
+                        default_compile_cache)
 from repro.core.compiler import CompiledAlgorithm
 from repro.core.program import MSCCLProgram
 from repro.topology.model import Topology
@@ -43,10 +44,16 @@ def sweep_sizes(start: int, end: int) -> Sequence[int]:
 
 def compile_on(topology: Topology,
                program: MSCCLProgram) -> CompiledAlgorithm:
-    """Compile with the machine's SM limit enforced."""
+    """Compile with the machine's SM limit enforced.
+
+    Benches share the process-wide compile cache: figure scripts that
+    sweep the same configurations (or re-run back to back) recompile
+    nothing the cache has already seen.
+    """
     return compile_program(
         program,
-        CompilerOptions(max_threadblocks=topology.machine.sm_count),
+        CompilerOptions(max_threadblocks=topology.machine.sm_count,
+                        cache=default_compile_cache()),
     )
 
 

@@ -19,7 +19,11 @@ from pathlib import Path
 
 from repro.algorithms import allpairs_allreduce, ring_allreduce
 from repro.analysis import ir_timer
-from repro.core import CompilerOptions, compile_program
+from repro.core import (
+    CompilerOptions,
+    compile_program,
+    default_compile_cache,
+)
 from repro.nccl import NcclModel
 from repro.observe import (
     Tracer,
@@ -49,7 +53,8 @@ def _configs(topology):
     timers = {}
     for label, program in builders.items():
         algo = compile_program(program, CompilerOptions(
-            max_threadblocks=topology.machine.sm_count
+            max_threadblocks=topology.machine.sm_count,
+            cache=default_compile_cache(),
         ))
         timers[label] = ir_timer(algo, topology, program.collective)
     return timers
@@ -78,8 +83,11 @@ def run_smoke(out_dir: Path) -> dict:
     # Observability artifacts for the tuned ring at the mid size.
     tracer = Tracer()
     program = ring_allreduce(8, channels=4, instances=8, protocol="LL")
+    # Same trace digest + options as the fig8a ring above, so this
+    # second compile is served from the compile cache.
     algo = compile_program(program, CompilerOptions(
-        max_threadblocks=topology.machine.sm_count, trace=tracer
+        max_threadblocks=topology.machine.sm_count, trace=tracer,
+        cache=default_compile_cache(),
     ))
     result = IrSimulator(
         algo.ir, topology, config=SimConfig(tracer=tracer)
@@ -106,6 +114,7 @@ def run_smoke(out_dir: Path) -> dict:
             "dominant_share": round(diag.dominant_share, 4),
             "time_us": round(diag.time_us, 3),
         },
+        "compile_cache": default_compile_cache().stats(),
     }
     (out_dir / "BENCH_smoke.json").write_text(json.dumps(doc, indent=2))
     return doc
@@ -125,8 +134,13 @@ def main(argv=None) -> int:
     )
     assert all(us > 0 for row in doc["series_us"].values()
                for us in row)
+    cache = doc["compile_cache"]
+    assert cache["hits"] > 0, (
+        f"compile cache never hit during the smoke run: {cache}"
+    )
     print(f"\nBENCH_smoke.json written to {args.out_dir}/ "
-          f"(ring 1MB speedup {ring[1]}x vs NCCL)")
+          f"(ring 1MB speedup {ring[1]}x vs NCCL, "
+          f"compile cache {cache['hits']} hit(s))")
     return 0
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.cache import default_compile_cache
 from ..core.compiler import CompilerOptions, compile_program
 from ..core.errors import MscclError
 from ..core.ir import MscclIr
@@ -91,8 +92,11 @@ def tune(builder: Builder, topology: Topology, sizes: Sequence[int],
     """Explore the space and pick the fastest candidate per size."""
     space = space if space is not None else default_space()
     config = sim_config or SimConfig()
+    # Tuning loops re-run with overlapping candidate spaces; the
+    # compile cache turns every previously-seen candidate into a hit.
     options = CompilerOptions(
-        max_threadblocks=topology.machine.sm_count
+        max_threadblocks=topology.machine.sm_count,
+        cache=default_compile_cache(),
     )
     compiled: Dict[Candidate, MscclIr] = {}
     result = TuningResult(candidates=[], sizes=list(sizes), times={},

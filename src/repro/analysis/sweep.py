@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from ..core.cache import default_compile_cache
 from ..core.collectives import Collective
 from ..core.compiler import (CompiledAlgorithm, CompilerOptions,
                              compile_program)
@@ -96,9 +97,18 @@ Config = Union[MscclIr, TimeFn]
 def compile_for(topology: Topology, program: MSCCLProgram,
                 options: Optional[CompilerOptions] = None,
                 ) -> CompiledAlgorithm:
-    """Compile with the topology's SM limit applied."""
+    """Compile with the topology's SM limit applied.
+
+    Sweeps re-trace and recompile the same configurations over and
+    over (every figure bench, every tuning pass), so compiles here go
+    through the process-wide content-addressed compile cache: the
+    second identical (program trace, options) pair is a hit, not a
+    recompile. Explicit ``options`` are used as given — set
+    ``options.cache`` yourself to opt in.
+    """
     options = options or CompilerOptions(
-        max_threadblocks=topology.machine.sm_count
+        max_threadblocks=topology.machine.sm_count,
+        cache=default_compile_cache(),
     )
     return compile_program(program, options)
 

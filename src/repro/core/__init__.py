@@ -33,12 +33,14 @@ from .collectives import (
     ReduceScatter,
     Scatter,
 )
+from .cache import CompileCache, default_compile_cache, program_digest
 from .compiler import CompiledAlgorithm, CompilerOptions, compile_program
 from .dag import ChunkDAG, ChunkOp
 from .directives import parallelize
 from .errors import (
     DeadlockError,
     MscclError,
+    PassValidationError,
     ProgramError,
     RuntimeConfigError,
     SchedulingError,
@@ -52,6 +54,14 @@ from .instructions import Instruction, InstructionDAG, Op
 from .ir import GpuProgram, IrInstruction, MscclIr, ThreadBlock
 from .lowering import lower
 from .passes import ir_stats, optimize_ir, prune_redundant_deps, renumber_channels
+from .pipeline import (
+    CompileState,
+    DefaultSchedulerPolicy,
+    Pass,
+    PassPipeline,
+    SchedulerPolicy,
+    default_pipeline,
+)
 from .program import MSCCLProgram, chunk, current_program
 from .refs import ChunkRef
 from .scheduling import schedule
@@ -70,10 +80,13 @@ __all__ = [
     "ChunkRef",
     "Collective",
     "Gather",
+    "CompileCache",
+    "CompileState",
     "CompiledAlgorithm",
     "CompilerOptions",
     "Custom",
     "DeadlockError",
+    "DefaultSchedulerPolicy",
     "GpuProgram",
     "InputChunk",
     "Instruction",
@@ -83,12 +96,16 @@ __all__ = [
     "MscclError",
     "MscclIr",
     "Op",
+    "Pass",
+    "PassPipeline",
+    "PassValidationError",
     "ProgramError",
     "Reduce",
     "ReduceScatter",
     "Scatter",
     "ReductionChunk",
     "RuntimeConfigError",
+    "SchedulerPolicy",
     "SchedulingError",
     "SimulationError",
     "StaleReferenceError",
@@ -108,8 +125,11 @@ __all__ = [
     "chunk",
     "compile_program",
     "current_program",
+    "default_compile_cache",
+    "default_pipeline",
     "fuse",
     "lower",
+    "program_digest",
     "ir_stats",
     "optimize_ir",
     "prune_redundant_deps",

@@ -1,0 +1,175 @@
+"""A content-addressed compile cache.
+
+Sweeps, autotuning runs, and benchmark suites compile the *same traced
+program* under the *same options* dozens of times per process (every
+figure bench re-traces its configurations, the autotuner compiles each
+candidate once per tuning call, ...). The cache keys each compile by a
+SHA-256 digest of the program's trace content — the chunk-DAG
+operations, the collective's shape, the protocol and instance count —
+plus every :class:`~repro.core.compiler.CompilerOptions` field that can
+change the produced IR (including the scheduler policy's
+``policy_key``). Tracers, validation, and dump settings are
+deliberately excluded: they never change the output.
+
+Hits are served by deserializing the stored IR JSON, so every caller
+gets a private :class:`~repro.core.ir.MscclIr` it may freely mutate —
+a cache hit is byte-identical (XML serialization) to a cold compile
+but can never alias another caller's IR.
+
+Hit/miss counters are kept per cache and surfaced two ways: bumped on
+the compile's tracer (``compile_cache.hits`` / ``compile_cache.misses``
+counters) and exported by :func:`repro.observe.metrics_dict` from the
+process-wide default cache (:func:`default_compile_cache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Dict, NamedTuple, Optional
+
+from .collectives import Collective
+from .ir import MscclIr
+from .program import MSCCLProgram
+
+
+class CacheEntry(NamedTuple):
+    """One cached compile: the IR (serialized) and its collective."""
+
+    ir_json: str
+    collective: Collective
+
+
+def program_digest(program: MSCCLProgram) -> str:
+    """SHA-256 of the program's trace content.
+
+    Two programs digest equal exactly when their chunk DAGs record the
+    same operations in the same order over the same collective shape —
+    the inputs the deterministic compiler pipeline sees. Builder
+    identity is irrelevant: re-tracing the same algorithm yields the
+    same digest.
+    """
+    collective = program.collective
+    doc = {
+        "name": program.name,
+        "protocol": program.protocol,
+        "instances": program.instances,
+        "collective": {
+            "kind": type(collective).__name__,
+            "name": collective.name,
+            "num_ranks": collective.num_ranks,
+            "in_place": collective.in_place,
+            "sizing_chunks": collective.sizing_chunks(),
+            "output_chunks": [
+                collective.output_chunks(rank)
+                for rank in range(collective.num_ranks)
+            ],
+            "input_chunks": [
+                0 if collective.in_place else collective.input_chunks(rank)
+                for rank in range(collective.num_ranks)
+            ],
+        },
+        "scratch_chunks": [
+            program.scratch_chunks(rank)
+            for rank in range(program.num_ranks)
+        ],
+        "ops": [
+            (
+                op.kind,
+                _span_key(op.src),
+                _span_key(op.dst),
+                op.channel,
+                None if op.parallel is None
+                else (op.parallel.group_id, op.parallel.instances),
+            )
+            for op in program.dag.ops
+        ],
+    }
+    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _span_key(span):
+    if span is None:
+        return None
+    rank, buffer, index, count = span
+    return (rank, buffer.value, index, count)
+
+
+def options_digest(options) -> str:
+    """A stable key over every output-affecting CompilerOptions field."""
+    scheduler = getattr(options, "scheduler", None)
+    policy_key = ("default" if scheduler is None
+                  else getattr(scheduler, "policy_key",
+                               type(scheduler).__qualname__))
+    doc = {
+        "instr_fusion": options.instr_fusion,
+        "verify": options.verify,
+        "audit": options.audit,
+        "optimize": options.optimize,
+        "max_threadblocks": options.max_threadblocks,
+        "num_slots": options.num_slots,
+        "scheduler": policy_key,
+    }
+    return json.dumps(doc, separators=(",", ":"), sort_keys=True)
+
+
+class CompileCache:
+    """LRU-bounded content-addressed store of compiled IRs."""
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, program: MSCCLProgram, options) -> str:
+        return program_digest(program) + "/" + options_digest(options)
+
+    def lookup(self, key: str) -> Optional[CacheEntry]:
+        """The entry for ``key`` (bumping hit/miss counters)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: str, ir: MscclIr,
+              collective: Collective) -> None:
+        self._entries[key] = CacheEntry(ir.to_json(), collective)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def materialize(self, entry: CacheEntry) -> MscclIr:
+        """A fresh, privately-owned IR for a hit."""
+        return MscclIr.from_json(entry.ir_json)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        """JSON-safe counters for dashboards and BENCH artifacts."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }
+
+
+_DEFAULT_CACHE = CompileCache()
+
+
+def default_compile_cache() -> CompileCache:
+    """The process-wide cache shared by sweeps, tuning, and benches."""
+    return _DEFAULT_CACHE

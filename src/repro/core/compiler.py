@@ -1,4 +1,4 @@
-"""The compiler driver: trace -> lower -> fuse -> schedule -> audit.
+"""The compiler driver over the pass pipeline.
 
 :func:`compile_program` is the one entry point users need: it takes a
 traced :class:`~repro.core.program.MSCCLProgram` and produces a
@@ -7,6 +7,13 @@ deadlock-free MSCCL-IR with the collective it implements, the options
 it was built with, and a per-pass span summary (durations plus
 node/instruction counts before and after every pass).
 
+Since the pipeline refactor the driver owns almost nothing: it builds a
+:class:`~repro.core.pipeline.CompileState`, consults the optional
+:class:`~repro.core.cache.CompileCache`, and hands execution to a
+:class:`~repro.core.pipeline.PassPipeline`
+(verify→lower→fuse→schedule→optimize passes→audit by default; supply
+``CompilerOptions.pipeline`` to run a variant).
+
 The handle delegates attribute access to the underlying
 :class:`~repro.core.ir.MscclIr`, so code written against the old
 "returns an IR" contract keeps working unchanged.
@@ -14,18 +21,20 @@ The handle delegates attribute access to the underlying
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..observe.tracer import Span, Tracer
 from .buffers import Buffer
+from .cache import CompileCache
 from .collectives import Collective
-from .fusion import fuse
 from .ir import MscclIr
-from .lowering import lower
+from .pipeline import (CompileState, DumpSpec, PassPipeline,
+                       SchedulerPolicy, default_pipeline)
 from .program import MSCCLProgram
-from .scheduling import schedule
-from .verification import audit_ir, check_postcondition
+
+VALIDATE_ENV = "REPRO_VALIDATE_PASSES"
 
 
 @dataclass
@@ -41,6 +50,15 @@ class CompilerOptions:
     :class:`~repro.runtime.simulator.SimConfig` for an end-to-end
     Chrome trace. When omitted, a private tracer is created so the
     compile-time span summary is always available on the result.
+
+    Pipeline knobs: ``scheduler`` swaps the
+    :class:`~repro.core.pipeline.SchedulerPolicy` (default: the paper's
+    channel/thread-block assignment); ``pipeline`` replaces the whole
+    pass list; ``validate_each`` re-checks each pass's invariants after
+    it runs (``None`` reads the ``REPRO_VALIDATE_PASSES`` environment
+    variable); ``dump_after`` records per-pass IR snapshots onto the
+    result's ``dumps`` (pass names, or ``"all"``); ``cache`` consults a
+    :class:`~repro.core.cache.CompileCache` before running any pass.
     """
 
     instr_fusion: bool = True
@@ -53,6 +71,11 @@ class CompilerOptions:
     max_threadblocks: Optional[int] = None
     num_slots: int = 8
     trace: Optional[Tracer] = field(default=None, repr=False)
+    scheduler: Optional[SchedulerPolicy] = field(default=None, repr=False)
+    pipeline: Optional[PassPipeline] = field(default=None, repr=False)
+    validate_each: Optional[bool] = None
+    dump_after: DumpSpec = None
+    cache: Optional[CompileCache] = field(default=None, repr=False)
 
 
 class CompiledAlgorithm:
@@ -71,16 +94,23 @@ class CompiledAlgorithm:
     contract intact.
     """
 
-    __slots__ = ("ir", "collective", "options", "tracer", "_span")
+    __slots__ = ("ir", "collective", "options", "tracer", "_span",
+                 "dumps", "cache_hit")
 
     def __init__(self, ir: MscclIr, collective: Collective,
                  options: CompilerOptions, tracer: Tracer,
-                 span: Span):
+                 span: Span, dumps: Optional[Dict[str, str]] = None,
+                 cache_hit: bool = False):
         self.ir = ir
         self.collective = collective
         self.options = options
         self.tracer = tracer
         self._span = span  # this compile's root span within the tracer
+        # Per-pass snapshots when compiled with dump_after (see
+        # repro-tools passes); empty otherwise.
+        self.dumps = dumps or {}
+        # True when this result was served from a CompileCache.
+        self.cache_hit = cache_hit
 
     def sizing_chunks(self) -> int:
         """Chunks a call buffer divides into (for byte -> chunk sizing)."""
@@ -117,6 +147,12 @@ class CompiledAlgorithm:
                 f"instructions={self.ir.instruction_count()})")
 
 
+def _validate_each(options: CompilerOptions) -> bool:
+    if options.validate_each is not None:
+        return options.validate_each
+    return bool(os.environ.get(VALIDATE_ENV))
+
+
 def compile_program(program: MSCCLProgram,
                     options: Optional[CompilerOptions] = None
                     ) -> CompiledAlgorithm:
@@ -124,68 +160,52 @@ def compile_program(program: MSCCLProgram,
     options = options or CompilerOptions()
     tracer = options.trace if options.trace is not None else Tracer()
     collective = program.collective
-    chunk_ops = len(program.dag.operations())
+
+    cache_key = None
+    if options.cache is not None:
+        cache_key = options.cache.key_for(program, options)
+        entry = options.cache.lookup(cache_key)
+        if entry is not None:
+            tracer.add_counter("compile_cache.hits", 1)
+            ir = options.cache.materialize(entry)
+            with tracer.span("compile", cat="compiler",
+                             algorithm=program.name,
+                             collective=collective.name,
+                             protocol=program.protocol,
+                             num_ranks=program.num_ranks,
+                             cache="hit") as root:
+                root.args["instructions"] = ir.instruction_count()
+                root.args["threadblocks"] = ir.threadblock_count()
+            return CompiledAlgorithm(ir, entry.collective, options,
+                                     tracer, root, cache_hit=True)
+        tracer.add_counter("compile_cache.misses", 1)
+
+    pipeline = (options.pipeline if options.pipeline is not None
+                else default_pipeline())
+    state = CompileState(program=program, collective=collective,
+                         options=options, tracer=tracer)
 
     with tracer.span("compile", cat="compiler",
                      algorithm=program.name,
                      collective=collective.name,
                      protocol=program.protocol,
                      num_ranks=program.num_ranks) as root:
-        if options.verify:
-            with tracer.span("verify", cat="compiler",
-                             chunk_ops=chunk_ops):
-                check_postcondition(program)
-
-        with tracer.span("lower", cat="compiler",
-                         chunk_ops_in=chunk_ops) as lower_span:
-            idag = lower(program.dag, instances=program.instances)
-            lower_span.args["instructions_out"] = len(idag.live())
-
-        if options.instr_fusion:
-            with tracer.span("fuse", cat="compiler",
-                             nodes_in=len(idag.live())) as fuse_span:
-                fuse(idag)
-                fuse_span.args["nodes_out"] = len(idag.live())
-
-        def input_chunks(rank: int) -> int:
-            if collective.in_place:
-                return 0  # the input aliases the output buffer
-            return collective.input_chunks(rank)
-
-        with tracer.span("schedule", cat="compiler",
-                         nodes_in=len(idag.live())) as sched_span:
-            ir = schedule(
-                idag,
-                name=program.name,
-                collective_name=collective.name,
-                protocol=program.protocol,
-                num_ranks=program.num_ranks,
-                in_place=collective.in_place,
-                input_chunks=input_chunks,
-                output_chunks=collective.output_chunks,
-                scratch_chunks=program.scratch_chunks,
-                max_threadblocks=options.max_threadblocks,
-                tracer=tracer,
+        pipeline.run(state, validate_each=_validate_each(options),
+                     dump_after=options.dump_after)
+        ir = state.ir
+        if ir is None:
+            raise RuntimeError(
+                f"pipeline {pipeline.names()} finished without "
+                "producing an IR (no schedule pass?)"
             )
-            sched_span.args["instructions_out"] = ir.instruction_count()
-            sched_span.args["threadblocks"] = ir.threadblock_count()
-            sched_span.args["channels"] = ir.channels_used()
-
-        if options.optimize:
-            from .passes import optimize_ir
-
-            optimize_ir(ir, tracer=tracer)
-
-        if options.audit:
-            with tracer.span("audit", cat="compiler",
-                             instructions=ir.instruction_count(),
-                             num_slots=options.num_slots):
-                audit_ir(ir, num_slots=options.num_slots)
-
         root.args["instructions"] = ir.instruction_count()
         root.args["threadblocks"] = ir.threadblock_count()
 
-    return CompiledAlgorithm(ir, collective, options, tracer, root)
+    if cache_key is not None:
+        options.cache.store(cache_key, ir, collective)
+
+    return CompiledAlgorithm(ir, collective, options, tracer, root,
+                             dumps=state.dumps)
 
 
 def scratch_buffer_chunks(ir: MscclIr, rank: int) -> int:

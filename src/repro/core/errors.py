@@ -46,6 +46,24 @@ class DeadlockError(MscclError):
     """An IR-level audit detected a potential deadlock cycle."""
 
 
+class PassValidationError(MscclError):
+    """A pipeline invariant failed right after a compiler pass ran.
+
+    Raised only when the pipeline runs with ``validate_each=True``:
+    every pass declares the invariants that must hold after it, and the
+    first violation is pinned to the pass that introduced it via
+    :attr:`pass_name` / :attr:`invariant`.
+    """
+
+    def __init__(self, pass_name: str, invariant: str, cause: Exception):
+        self.pass_name = pass_name
+        self.invariant = invariant
+        super().__init__(
+            f"invariant {invariant!r} violated after pass "
+            f"{pass_name!r}: {cause}"
+        )
+
+
 class RuntimeConfigError(MscclError):
     """Invalid runtime configuration (unknown protocol, bad size range...)."""
 

@@ -28,7 +28,7 @@ from .diagnose import (
 )
 from .export import chrome_trace, flame_text, write_chrome_trace
 from .graph import Edge, ExecNode, ExecutionGraph, PathStep, Segment
-from .metrics import metrics_dict, metrics_text
+from .metrics import compile_cache_stats, metrics_dict, metrics_text
 from .tracer import CounterSample, Span, Tracer, maybe_span
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "Tracer",
     "chrome_trace",
     "chunk_journey",
+    "compile_cache_stats",
     "diagnose",
     "diagnose_text",
     "diagnosis_dict",

@@ -13,6 +13,17 @@ from typing import Dict, Optional
 from .tracer import Tracer
 
 
+def compile_cache_stats() -> Dict[str, float]:
+    """Hit/miss counters of the process-wide compile cache.
+
+    Lazy import: ``repro.core`` imports ``repro.observe.tracer``, so
+    the cache module cannot be a top-level dependency here.
+    """
+    from ..core.cache import default_compile_cache
+
+    return default_compile_cache().stats()
+
+
 def metrics_dict(tracer: Tracer, result=None) -> Dict:
     """Counters, span aggregates, and link occupancy as one dict.
 
@@ -36,6 +47,7 @@ def metrics_dict(tracer: Tracer, result=None) -> Dict:
             for name, value in sorted(tracer.counters.items())
         },
         "spans": spans,
+        "compile_cache": compile_cache_stats(),
     }
     if result is not None:
         elapsed = result.time_us
@@ -75,6 +87,14 @@ def metrics_text(metrics: Dict, top_links: Optional[int] = 8) -> str:
         lines.append("counters:")
         for name, value in counters.items():
             lines.append(f"  {name:<32s} {value:>12.1f}")
+    cache = metrics.get("compile_cache")
+    if cache and (cache.get("hits") or cache.get("misses")):
+        lines.append(
+            f"compile cache: {cache['hits']} hit(s), "
+            f"{cache['misses']} miss(es) "
+            f"({cache['hit_rate']:.0%} hit rate, "
+            f"{cache['entries']} cached)"
+        )
     links = metrics.get("links", {})
     if links:
         ranked = sorted(links.items(), key=lambda kv: -kv[1]["occupancy"])

@@ -15,20 +15,17 @@ handle returned by ``compile_program``::
     algo = compile_program(program)
     comm.register(algo, max_bytes=2 * MiB, label="ring-ll")
 
-The legacy ``register(ir, collective)`` pair still works but emits a
-:class:`DeprecationWarning`.
+The legacy ``register(ir, collective)`` pair was removed after its
+deprecation cycle; pass the handle.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional
 
-from ..core.collectives import Collective
 from ..core.compiler import CompiledAlgorithm
 from ..core.errors import RuntimeConfigError
-from ..core.ir import MscclIr
 from ..nccl.selector import NcclModel
 from ..topology.model import Topology
 from .config import AlgorithmRegistry
@@ -69,34 +66,25 @@ class Communicator:
         return self.topology.num_ranks
 
     # -- registration ----------------------------------------------------
-    def register(self, algorithm: Union[CompiledAlgorithm, MscclIr],
-                 collective: Optional[Collective] = None, *,
+    def register(self, algorithm: CompiledAlgorithm, *,
                  min_bytes: float = 0.0,
                  max_bytes: float = float("inf"),
                  label: str = "") -> None:
         """Register a compiled algorithm for a buffer-size range.
 
         ``algorithm`` is the :class:`CompiledAlgorithm` from
-        ``compile_program``. Passing a separate ``collective`` (the old
-        ``register(ir, collective)`` shape) is deprecated.
+        ``compile_program`` — one object carrying the IR and its
+        collective. (The pre-PR-1 ``register(ir, collective)`` pair is
+        gone; positional extras now raise ``TypeError``.)
         """
-        if collective is not None:
-            warnings.warn(
-                "Communicator.register(ir, collective) is deprecated; "
-                "pass the CompiledAlgorithm returned by compile_program "
-                "instead",
-                DeprecationWarning, stacklevel=2,
-            )
-            ir = algorithm.ir if isinstance(
-                algorithm, CompiledAlgorithm) else algorithm
-        elif isinstance(algorithm, CompiledAlgorithm):
-            ir = algorithm.ir
-            collective = algorithm.collective
-        else:
+        if not isinstance(algorithm, CompiledAlgorithm):
             raise RuntimeConfigError(
-                "register() needs a CompiledAlgorithm (from "
-                "compile_program) or the deprecated (ir, collective) pair"
+                "register() needs the CompiledAlgorithm returned by "
+                "compile_program (bare MscclIr registration was removed "
+                "with the deprecated (ir, collective) pair)"
             )
+        ir = algorithm.ir
+        collective = algorithm.collective
         if ir.num_ranks != self.num_ranks:
             raise RuntimeConfigError(
                 f"program has {ir.num_ranks} ranks, communicator has "

@@ -7,6 +7,9 @@ Subcommands:
 * ``simulate`` — compile and run one (algorithm, topology, size) point,
   printing latency and algorithm bandwidth.
 * ``sweep``    — latency across a size grid, optionally against NCCL.
+* ``passes``   — introspect the compiler pass pipeline: which passes
+  run for the given options, their wall time and counters, per-pass
+  invariant validation, and optional per-pass IR dumps to a directory.
 * ``trace``    — compile + simulate with the observability tracer on
   and write a ``chrome://tracing`` JSON, printing the per-pass compile
   table, a flamegraph-style summary, and the runtime metrics.
@@ -185,6 +188,43 @@ def _pass_table(algo) -> str:
     return "\n".join(lines)
 
 
+def _passes(args) -> int:
+    from ..core.pipeline import default_pipeline
+
+    topology = build_topology(args)
+    program = build_algorithm(args)
+    options = CompilerOptions(
+        max_threadblocks=topology.machine.sm_count,
+        instr_fusion=not args.no_fusion,
+        optimize=args.optimize,
+        validate_each=True if args.validate else None,
+        dump_after="all",
+    )
+    algo = compile_program(program, options)
+
+    print(f"{program.name}: pass pipeline")
+    for p in default_pipeline().passes:
+        state = "ran" if p.name in algo.dumps else "skipped"
+        invariants = ", ".join(p.invariants) or "-"
+        print(f"  {p.name:<22s} {state:<8s} invariants: {invariants}")
+    print("\n== pass timings ==")
+    print(_pass_table(algo))
+    if args.validate:
+        print("\n# per-pass invariant validation passed")
+    if args.dump_dir:
+        from pathlib import Path as _Path
+
+        dump_dir = _Path(args.dump_dir)
+        dump_dir.mkdir(parents=True, exist_ok=True)
+        for index, (name, text) in enumerate(algo.dumps.items()):
+            suffix = "xml" if text.startswith("<") else "txt"
+            path = dump_dir / f"{index:02d}_{name}.{suffix}"
+            path.write_text(text + "\n")
+            print(f"# {name} snapshot written to {path}",
+                  file=sys.stderr)
+    return 0
+
+
 def _trace(args) -> int:
     topology = build_topology(args)
     program = build_algorithm(args)
@@ -323,6 +363,32 @@ def main(argv: Optional[list] = None) -> int:
     _add_common(sim_parser)
     sim_parser.add_argument("--size", default="1MB")
     sim_parser.set_defaults(func=_simulate)
+
+    passes_parser = sub.add_parser(
+        "passes",
+        help="introspect the compiler pass pipeline (timings, "
+             "validation, per-pass dumps)",
+    )
+    _add_common(passes_parser)
+    passes_parser.add_argument(
+        "--validate", action="store_true",
+        help="re-check pass invariants after every pass "
+             "(same as REPRO_VALIDATE_PASSES=1)",
+    )
+    passes_parser.add_argument(
+        "--optimize", action="store_true",
+        help="also run the post-scheduling optimization passes",
+    )
+    passes_parser.add_argument(
+        "--no-fusion", action="store_true",
+        help="disable the peephole fusion pass",
+    )
+    passes_parser.add_argument(
+        "--dump-dir", default=None,
+        help="write a per-pass IR / instruction-DAG snapshot into "
+             "this directory",
+    )
+    passes_parser.set_defaults(func=_passes)
 
     trace_parser = sub.add_parser(
         "trace",

@@ -1,7 +1,5 @@
 """Tests for the NCCL-like Communicator facade."""
 
-import warnings
-
 import pytest
 
 from repro.algorithms import ring_allgather, ring_allreduce
@@ -67,23 +65,20 @@ class TestSelection:
         with pytest.raises(RuntimeConfigError, match="CompiledAlgorithm"):
             communicator.register(algo.ir)
 
-    def test_deprecated_pair_still_registers(self):
+    def test_old_pair_shape_removed(self):
+        # The PR-1 deprecation cycle is complete: the (ir, collective)
+        # pair is no longer accepted, positionally or otherwise.
         comm = Communicator(ndv4(1))
         program = ring_allreduce(8, channels=4, instances=8,
                                  protocol="LL")
         algo = compile_program(
             program, CompilerOptions(max_threadblocks=108)
         )
-        # Not pytest.warns: it must also pass under
-        # -W error::DeprecationWarning in CI.
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            comm.register(algo.ir, program.collective, min_bytes=0,
-                          max_bytes=2 * MiB, label="old-shape")
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-        comm.all_reduce(256 * KiB)
-        assert comm.history[-1].algorithm == "old-shape"
+        with pytest.raises(TypeError):
+            comm.register(algo.ir, program.collective)
+        with pytest.raises(RuntimeConfigError,
+                           match="CompiledAlgorithm"):
+            comm.register(algo.ir)
 
 
 class TestHistory:
