@@ -1,0 +1,29 @@
+"""Differential conformance + fault-injection harness for the runtime.
+
+Checks that the executor and simulator agree with each other and with
+the IR's static happens-before graph: order-invariant outputs under
+shuffled schedules, FIFO pops justified by simulator edges, no
+unordered conflicting buffer accesses, and correct-or-typed-deadlock
+behaviour under injected timing faults. See
+:mod:`repro.conformance.harness` for the semantics.
+"""
+
+from .harness import (ConformanceConfig, check_conformance, run_conformance,
+                      shuffled_order)
+from .races import RacePair, find_races
+from .witness import (ConformanceReport, Witness, displaced_blocks,
+                      fold_into_diagnosis, minimize_order)
+
+__all__ = [
+    "ConformanceConfig",
+    "ConformanceReport",
+    "RacePair",
+    "Witness",
+    "check_conformance",
+    "displaced_blocks",
+    "find_races",
+    "fold_into_diagnosis",
+    "minimize_order",
+    "run_conformance",
+    "shuffled_order",
+]

@@ -1,0 +1,104 @@
+"""Race scan: conflicting buffer accesses unordered by happens-before.
+
+The executor logs every local buffer read and write it performs (see
+``IrExecutor.access_log``). Two accesses *conflict* when they touch an
+overlapping region — same rank and buffer, intersecting chunk-index
+ranges, intersecting element fractions — they come from different
+thread blocks, and at least one is a write. A conflict is a **race**
+when neither instruction reaches the other in the IR's happens-before
+graph (:func:`repro.core.verification.dependence_edges`: program
+order, cross-thread-block deps, send->recv communication edges, and
+FIFO slot back-pressure). MSCCLang programs are race-free by
+construction (paper section 3.3), so any hit here is compiler or
+hand-edited-IR breakage, and the pair it names is the witness the
+conformance harness reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..core.ir import MscclIr
+from ..core.verification import dependence_edges
+
+InstrKey = Tuple[int, int, int]
+
+#: One detected race: the two unordered instructions plus a description
+#: of the contested location.
+RacePair = Tuple[InstrKey, InstrKey, str]
+
+
+class _Reachability:
+    """Memoized forward reachability over the dependence graph."""
+
+    def __init__(self, ir: MscclIr, num_slots: int):
+        self._adjacency: Dict[InstrKey, List[InstrKey]] = {}
+        for src, dst, _kind in dependence_edges(ir, num_slots):
+            self._adjacency.setdefault(src, []).append(dst)
+        self._closure: Dict[InstrKey, Set[InstrKey]] = {}
+
+    def ordered(self, a: InstrKey, b: InstrKey) -> bool:
+        return b in self._reach(a) or a in self._reach(b)
+
+    def _reach(self, node: InstrKey) -> Set[InstrKey]:
+        cached = self._closure.get(node)
+        if cached is not None:
+            return cached
+        seen: Set[InstrKey] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for succ in self._adjacency.get(current, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        self._closure[node] = seen
+        return seen
+
+
+def find_races(ir: MscclIr, access_log, num_slots: int = 8,
+               limit: int = 8) -> List[RacePair]:
+    """Scan one run's access log for happens-before violations.
+
+    ``access_log`` rows are the executor's ``(node, kind, buffer,
+    index, count, frac_lo, frac_hi)`` tuples. Returns up to ``limit``
+    distinct racing pairs, each with a human-readable location string;
+    an empty list means every conflicting access pair is ordered.
+    """
+    reach = _Reachability(ir, num_slots)
+
+    # Bucket accesses per touched chunk so only same-location pairs are
+    # compared; one access spans ``count`` chunks starting at ``index``.
+    buckets: Dict[tuple, List[tuple]] = {}
+    for node, kind, buffer, index, count, lo, hi in access_log:
+        if hi <= lo:
+            continue  # empty element range can't conflict
+        for chunk_index in range(index, index + count):
+            buckets.setdefault((node[0], buffer, chunk_index), []).append(
+                (node, kind, lo, hi)
+            )
+
+    races: List[RacePair] = []
+    seen_pairs: Set[frozenset] = set()
+    for (rank, buffer, chunk_index), rows in sorted(
+            buckets.items(), key=lambda kv: str(kv[0])):
+        for i, (node_a, kind_a, lo_a, hi_a) in enumerate(rows):
+            for node_b, kind_b, lo_b, hi_b in rows[i + 1:]:
+                if node_a[:2] == node_b[:2]:
+                    continue  # same thread block: program order
+                if kind_a == "r" and kind_b == "r":
+                    continue
+                if max(lo_a, lo_b) >= min(hi_a, hi_b):
+                    continue  # disjoint element fractions
+                pair_key = frozenset((node_a, node_b))
+                if pair_key in seen_pairs:
+                    continue
+                seen_pairs.add(pair_key)
+                if reach.ordered(node_a, node_b):
+                    continue
+                first, second = sorted((node_a, node_b))
+                races.append((first, second,
+                              f"rank {rank} {buffer.value}[{chunk_index}]"))
+                if len(races) >= limit:
+                    return races
+    return races

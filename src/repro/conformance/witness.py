@@ -1,0 +1,154 @@
+"""Witnesses: minimized evidence of a runtime conformance failure.
+
+A :class:`Witness` is what the harness hands back when a check fails:
+the kind of divergence, the seed and (minimized) schedule that
+triggered it, the racing instruction pair when one was identified, and
+the fault plan if faults were injected. :func:`minimize_order` is the
+schedule reducer: starting from a failing thread-block permutation it
+greedily moves blocks back to their program-order positions while the
+failure persists, so the surviving displacements are exactly the
+ordering decisions the bug needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+# (rank, tb_id) and (rank, tb_id, step) — same keys the executor uses.
+TbKey = Tuple[int, int]
+InstrKey = Tuple[int, int, int]
+
+
+@dataclass
+class Witness:
+    """One minimized piece of evidence for a conformance failure."""
+
+    kind: str  # "order-variance" | "race" | "unjustified-pop" | "fault"
+    detail: str
+    seed: Optional[int] = None
+    # The minimized failing sweep order, and which thread blocks remain
+    # displaced from program order in it (empty for non-schedule kinds).
+    schedule: Optional[List[TbKey]] = None
+    displaced: Optional[List[TbKey]] = None
+    # The racing instruction pair, when the race scan identified one.
+    pair: Optional[Tuple[InstrKey, InstrKey]] = None
+    faults: Optional[str] = None  # FaultPlan.describe(), if injected
+
+    def summary(self) -> str:
+        parts = [f"[{self.kind}] {self.detail}"]
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        if self.displaced:
+            moved = ", ".join(f"r{r}/tb{t}" for r, t in self.displaced)
+            parts.append(f"minimized schedule displaces {moved}")
+        if self.pair is not None:
+            (ra, ta, sa), (rb, tb, sb) = self.pair
+            parts.append(
+                f"racing pair r{ra}/tb{ta}/step{sa} <-> "
+                f"r{rb}/tb{tb}/step{sb}"
+            )
+        if self.faults:
+            parts.append(f"faults: {self.faults}")
+        return "; ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "seed": self.seed,
+            "schedule": ([list(key) for key in self.schedule]
+                         if self.schedule else None),
+            "displaced": ([list(key) for key in self.displaced]
+                          if self.displaced else None),
+            "pair": ([list(node) for node in self.pair]
+                     if self.pair else None),
+            "faults": self.faults,
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """Everything one conformance run established about an algorithm."""
+
+    algorithm: str
+    seeds: int
+    # Check name -> number of rounds that ran it (e.g. how many
+    # shuffled schedules, how many fault plans, how many pops checked).
+    rounds: Dict[str, int] = field(default_factory=dict)
+    witnesses: List[Witness] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.witnesses
+
+    def add_round(self, check: str, count: int = 1) -> None:
+        self.rounds[check] = self.rounds.get(check, 0) + count
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "seeds": self.seeds,
+            "ok": self.ok,
+            "rounds": dict(self.rounds),
+            "witnesses": [w.to_dict() for w in self.witnesses],
+        }
+
+    def text(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        checks = "  ".join(
+            f"{name}={count}" for name, count in sorted(self.rounds.items())
+        )
+        lines = [f"{status} {self.algorithm}  ({checks})"]
+        for witness in self.witnesses:
+            lines.append(f"  - {witness.summary()}")
+        return "\n".join(lines)
+
+
+def displaced_blocks(base: Sequence[TbKey],
+                     order: Sequence[TbKey]) -> List[TbKey]:
+    """Thread blocks not at their program-order position in ``order``."""
+    return [key for key, ref in zip(order, base) if key != ref]
+
+
+def minimize_order(base: Sequence[TbKey], failing: Sequence[TbKey],
+                   still_fails: Callable[[List[TbKey]], bool],
+                   max_trials: int = 48) -> List[TbKey]:
+    """Reduce a failing permutation toward program order.
+
+    Greedy 1-minimal reduction: for each thread block, try moving it
+    back to its program-order position; keep the move when the reduced
+    schedule still fails. The result is a failing order whose remaining
+    displacements are each individually necessary (within the trial
+    budget) — the minimized failing schedule reported in a witness.
+    """
+    base = list(base)
+    current = list(failing)
+    trials = 0
+    changed = True
+    while changed and trials < max_trials:
+        changed = False
+        for key in base:
+            if trials >= max_trials:
+                break
+            candidate = [k for k in current if k != key]
+            candidate.insert(base.index(key), key)
+            if candidate == current:
+                continue
+            trials += 1
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+    return current
+
+
+def fold_into_diagnosis(diagnosis, report: ConformanceReport):
+    """Attach a report's witnesses to a :class:`~repro.observe.Diagnosis`.
+
+    The diagnose engine explains *why a schedule is slow*; conformance
+    witnesses explain *why it is wrong*. Folding them into the same
+    object lets ``repro-tools``/reporting render one verdict per
+    algorithm.
+    """
+    diagnosis.witnesses.extend(w.summary() for w in report.witnesses)
+    return diagnosis

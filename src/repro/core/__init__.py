@@ -38,6 +38,7 @@ from .compiler import CompiledAlgorithm, CompilerOptions, compile_program
 from .dag import ChunkDAG, ChunkOp
 from .directives import parallelize
 from .errors import (
+    ConformanceError,
     DeadlockError,
     MscclError,
     PassValidationError,
@@ -65,7 +66,7 @@ from .pipeline import (
 from .program import MSCCLProgram, chunk, current_program
 from .refs import ChunkRef
 from .scheduling import schedule
-from .verification import audit_ir, check_postcondition
+from .verification import audit_ir, check_postcondition, dependence_edges
 from .visualize import chunk_dag_dot, describe_ir, instruction_dag_dot, ir_dot
 
 __all__ = [
@@ -85,6 +86,7 @@ __all__ = [
     "CompiledAlgorithm",
     "CompilerOptions",
     "Custom",
+    "ConformanceError",
     "DeadlockError",
     "DefaultSchedulerPolicy",
     "GpuProgram",
@@ -118,6 +120,7 @@ __all__ = [
     "as_buffer",
     "audit_ir",
     "check_postcondition",
+    "dependence_edges",
     "chunk_dag_dot",
     "describe_ir",
     "instruction_dag_dot",

@@ -43,7 +43,32 @@ class SchedulingError(MscclError):
 
 
 class DeadlockError(MscclError):
-    """An IR-level audit detected a potential deadlock cycle."""
+    """An IR-level audit detected a potential deadlock cycle.
+
+    When raised by :meth:`repro.runtime.IrExecutor.run`, the exception
+    additionally carries :attr:`blocked`: one ``(rank, tb, step,
+    reason)`` tuple per stuck thread block explaining what it was
+    waiting on (an unmet cross-thread-block dependency, a FIFO message
+    that never arrived, a full FIFO slot window, ...).
+    """
+
+    def __init__(self, message: str, blocked=None):
+        super().__init__(message)
+        self.blocked = list(blocked) if blocked else []
+
+
+class ConformanceError(MscclError):
+    """The differential conformance harness found a runtime divergence.
+
+    Carries :attr:`witnesses`: the (minimized)
+    :class:`repro.conformance.Witness` objects describing each failing
+    schedule or fault plan, including the racing instruction pair when
+    one was identified.
+    """
+
+    def __init__(self, message: str, witnesses=None):
+        super().__init__(message)
+        self.witnesses = list(witnesses) if witnesses else []
 
 
 class PassValidationError(MscclError):

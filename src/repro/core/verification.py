@@ -60,8 +60,24 @@ def _chunks_equal(got, want) -> bool:
     return got == want
 
 
-def audit_ir(ir: MscclIr, num_slots: int = 8) -> None:
-    """Raise on malformed connections or a potential deadlock cycle."""
+#: One happens-before edge of the scheduled IR: (src, dst, kind) over
+#: (rank, tb, step) nodes. Kinds: "program" (thread-block order), "dep"
+#: (cross-thread-block dependency), "comm" (send -> matching receive),
+#: "slot" (FIFO back-pressure: receive k frees the slot send k+slots
+#: reuses).
+DependenceEdge = Tuple[Tuple[int, int, int], Tuple[int, int, int], str]
+
+
+def dependence_edges(ir: MscclIr,
+                     num_slots: int = 8) -> List[DependenceEdge]:
+    """The full happens-before edge list of a scheduled IR.
+
+    This is the graph the deadlock audit checks for cycles, exported so
+    other consumers (the conformance harness's race scan, tooling) can
+    reason about the same ordering semantics the runtime enforces.
+    Raises :class:`DeadlockError` on malformed connections (unmatched
+    or invalidly tagged sends/receives).
+    """
     if num_slots < 1:
         raise ValueError("num_slots must be >= 1")
     sends, recvs = _collect_connection_traffic(ir)
@@ -87,34 +103,48 @@ def audit_ir(ir: MscclIr, num_slots: int = 8) -> None:
             by_seq[seq] = node
         recvs_by_seq[conn] = [by_seq[k] for k in range(n_send)]
 
-    # Build the full dependence graph over (rank, tb, step) nodes.
-    Node = Tuple[int, int, int]
-    adjacency: Dict[Node, List[Node]] = {}
-    indegree: Dict[Node, int] = {}
-
-    def add_edge(a: Node, b: Node) -> None:
-        adjacency.setdefault(a, []).append(b)
-        indegree[b] = indegree.get(b, 0) + 1
-        indegree.setdefault(a, 0)
-
+    edges: List[DependenceEdge] = []
     for gpu in ir.gpus:
         for tb in gpu.threadblocks:
             for instr in tb.instructions:
                 node = (gpu.rank, tb.tb_id, instr.step)
-                indegree.setdefault(node, 0)
                 if instr.step > 0:
-                    add_edge((gpu.rank, tb.tb_id, instr.step - 1), node)
+                    edges.append(
+                        ((gpu.rank, tb.tb_id, instr.step - 1), node,
+                         "program")
+                    )
                 for dep_tb, dep_step in instr.depends:
-                    add_edge((gpu.rank, dep_tb, dep_step), node)
+                    edges.append(
+                        ((gpu.rank, dep_tb, dep_step), node, "dep")
+                    )
 
     for conn, send_nodes in sends.items():
         recv_nodes = recvs_by_seq[conn]
         for k, (send_node, recv_node) in enumerate(
                 zip(send_nodes, recv_nodes)):
-            add_edge(send_node, recv_node)
+            edges.append((send_node, recv_node, "comm"))
             if k + num_slots < len(send_nodes):
                 # FIFO back-pressure: send k+s needs slot k freed.
-                add_edge(recv_node, send_nodes[k + num_slots])
+                edges.append((recv_node, send_nodes[k + num_slots],
+                              "slot"))
+    return edges
+
+
+def audit_ir(ir: MscclIr, num_slots: int = 8) -> None:
+    """Raise on malformed connections or a potential deadlock cycle."""
+    edges = dependence_edges(ir, num_slots)
+
+    Node = Tuple[int, int, int]
+    adjacency: Dict[Node, List[Node]] = {}
+    indegree: Dict[Node, int] = {}
+    for gpu in ir.gpus:
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                indegree.setdefault((gpu.rank, tb.tb_id, instr.step), 0)
+    for src, dst, _kind in edges:
+        adjacency.setdefault(src, []).append(dst)
+        indegree[dst] = indegree.get(dst, 0) + 1
+        indegree.setdefault(src, 0)
 
     # Kahn's algorithm; leftovers mean a cycle (potential deadlock).
     ready = [node for node, deg in indegree.items() if deg == 0]

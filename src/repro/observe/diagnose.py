@@ -62,6 +62,10 @@ class Diagnosis:
     channel_share: Dict[int, float] = field(default_factory=dict)
     crossings: Dict[str, int] = field(default_factory=dict)
     hints: List[str] = field(default_factory=list)
+    # Conformance witnesses folded in by
+    # :func:`repro.conformance.fold_into_diagnosis`: the diagnosis says
+    # why the schedule is slow, the witnesses say why it is wrong.
+    witnesses: List[str] = field(default_factory=list)
 
     @property
     def dominant_share(self) -> float:
@@ -185,6 +189,7 @@ def diagnosis_dict(diag: Diagnosis, max_path_steps: int = 64) -> Dict:
         },
         "crossings": dict(diag.crossings),
         "hints": list(diag.hints),
+        "witnesses": list(diag.witnesses),
         "path_steps": len(diag.path),
         "path": [
             {
@@ -232,6 +237,9 @@ def diagnose_text(diag: Diagnosis, top: int = 8) -> str:
     if diag.hints:
         lines.append("hints:")
         lines += [f"  - {hint}" for hint in diag.hints]
+    if diag.witnesses:
+        lines.append("conformance witnesses:")
+        lines += [f"  - {witness}" for witness in diag.witnesses]
     heaviest = sorted(diag.path, key=lambda s: -s.duration_us)[:top]
     if heaviest:
         lines.append(f"heaviest path intervals (top {len(heaviest)}):")

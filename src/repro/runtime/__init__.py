@@ -3,7 +3,7 @@
 from .api import CallRecord, Communicator
 from .config import AlgorithmRegistry, RegisteredAlgorithm
 from .events import EventLoop, Signal
-from .executor import IrExecutor
+from .executor import FaultPlan, IrExecutor, PopEvent
 from .profile import (
     TbProfile,
     critical_path,
@@ -14,18 +14,21 @@ from .profile import (
 )
 from .protocols import (LL, LL128, PROTOCOLS, SIMPLE, SIMPLE_DIRECT,
                         Protocol, get_protocol)
-from .simulator import IrSimulator, SimConfig, SimResult, TraceEntry
+from .simulator import (IrSimulator, SimConfig, SimResult, TraceEntry,
+                        happens_before_pairs)
 
 __all__ = [
     "AlgorithmRegistry",
     "CallRecord",
     "Communicator",
     "EventLoop",
+    "FaultPlan",
     "IrExecutor",
     "IrSimulator",
     "LL",
     "LL128",
     "PROTOCOLS",
+    "PopEvent",
     "Protocol",
     "RegisteredAlgorithm",
     "SIMPLE",
@@ -41,4 +44,5 @@ __all__ = [
     "timeline",
     "utilization_report",
     "get_protocol",
+    "happens_before_pairs",
 ]

@@ -12,7 +12,8 @@ every collective, including custom ones.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +34,88 @@ _COMBINE = {
     "prod": np.multiply,
 }
 
+RECV_OPS = frozenset({
+    Op.RECV, Op.RECV_REDUCE_COPY, Op.RECV_COPY_SEND,
+    Op.RECV_REDUCE_COPY_SEND, Op.RECV_REDUCE_SEND,
+})
+SEND_OPS = frozenset({
+    Op.SEND, Op.RECV_COPY_SEND, Op.RECV_REDUCE_COPY_SEND,
+    Op.RECV_REDUCE_SEND,
+})
+
+# (rank, tb_id) — one thread block; (rank, tb_id, step) — one instruction.
+TbKey = Tuple[int, int]
+InstrKey = Tuple[int, int, int]
+
+# A sweep-order hook: called once per scheduler sweep with the sweep
+# index and the thread-block keys in program order; returns the order
+# this sweep services them in (a permutation).
+SweepOrder = Callable[[int, Sequence[TbKey]], Sequence[TbKey]]
+
+
+@dataclass
+class PopEvent:
+    """One executor FIFO pop: which send's payload a receive consumed."""
+
+    conn: Tuple[int, int, int]  # (src rank, dst rank, channel)
+    seq: int
+    producer: Optional[InstrKey]  # the send that pushed this message
+    consumer: InstrKey  # the receive that popped it
+
+
+@dataclass
+class FaultPlan:
+    """Timing perturbations injected into :meth:`IrExecutor.run`.
+
+    Every fault models a legal runtime delay, never data corruption: a
+    correct, deadlock-free IR must still produce the right answer under
+    any plan (except a ``fifo_slots`` below what the deadlock audit
+    assumed, which may legitimately deadlock — and must then raise
+    :class:`DeadlockError`, not hang or corrupt data).
+
+    ``fifo_slots``      caps in-flight messages per connection: a send
+                        with sequence ``s`` blocks until the receive of
+                        ``s - fifo_slots`` has drained its slot.
+    ``deliver_delay``   hides every pushed message for this many sweeps
+                        before the matching receive may pop it.
+    ``drop_sends``      maps ``(src, dst, channel, seq)`` to a number of
+                        failed attempts: the send is dropped (and
+                        retried next sweep) that many times before it
+                        goes through.
+    ``semaphore_skew``  lags cross-thread-block progress visibility:
+                        dependency checks observe ``done_steps`` as it
+                        was this many sweeps ago.
+    """
+
+    fifo_slots: Optional[int] = None
+    deliver_delay: int = 0
+    drop_sends: Dict[Tuple[int, int, int, int], int] = \
+        field(default_factory=dict)
+    semaphore_skew: int = 0
+
+    def __post_init__(self):
+        if self.fifo_slots is not None and self.fifo_slots < 1:
+            raise ValueError("fifo_slots must be >= 1")
+        if self.deliver_delay < 0 or self.semaphore_skew < 0:
+            raise ValueError("delays must be >= 0")
+
+    def describe(self) -> str:
+        parts = []
+        if self.fifo_slots is not None:
+            parts.append(f"fifo_slots={self.fifo_slots}")
+        if self.deliver_delay:
+            parts.append(f"deliver_delay={self.deliver_delay}")
+        if self.drop_sends:
+            drops = ", ".join(
+                f"{src}->{dst} ch{ch} seq{seq} x{times}"
+                for (src, dst, ch, seq), times
+                in sorted(self.drop_sends.items())
+            )
+            parts.append(f"drop_sends[{drops}]")
+        if self.semaphore_skew:
+            parts.append(f"semaphore_skew={self.semaphore_skew}")
+        return ", ".join(parts) or "no faults"
+
 
 class IrExecutor:
     """Executes an IR's data movement and validates the result."""
@@ -47,6 +130,21 @@ class IrExecutor:
         self._rng = np.random.default_rng(seed)
         self.buffers: Dict[Tuple[int, Buffer], np.ndarray] = {}
         self.initial_inputs: Dict[int, np.ndarray] = {}
+        # Event logs of the last run: who pushed each (connection, seq)
+        # message, every FIFO pop with its producer/consumer pair, and
+        # every buffer access — the raw material the conformance
+        # harness cross-checks against the simulator's happens-before
+        # graph and the IR's dependence graph.
+        self.push_log: Dict[Tuple[Tuple[int, int, int], int], InstrKey] = {}
+        self.pop_log: List[PopEvent] = []
+        self.access_log: List[tuple] = []
+        self._send_counters: Dict[Tuple[int, int, int], int] = {}
+        self._faults: Optional[FaultPlan] = None
+        self._drop_remaining: Dict[Tuple[int, int, int, int], int] = {}
+        self._visible_at: Dict[Tuple[Tuple[int, int, int], int], int] = {}
+        self._popped: Dict[Tuple[int, int, int], set] = {}
+        self._sweep = 0
+        self._fault_activity = False
         self._allocate()
 
     # -- setup ---------------------------------------------------------
@@ -87,74 +185,252 @@ class IrExecutor:
         self.buffers[(rank, buffer)][index:index + count, sl] = data
 
     # -- execution -----------------------------------------------------------
-    def run(self, max_idle_sweeps: int = 3) -> None:
-        """Execute all thread blocks to completion (raises on deadlock)."""
+    def run(self, max_idle_sweeps: int = 3, *,
+            order: Optional[SweepOrder] = None,
+            faults: Optional[FaultPlan] = None) -> None:
+        """Execute all thread blocks to completion (raises on deadlock).
+
+        ``order`` plugs in a per-sweep thread-block servicing order (a
+        permutation of the program-order keys); a race-free IR's output
+        is bitwise identical under every order. ``faults`` injects
+        timing perturbations (see :class:`FaultPlan`); sweeps stalled
+        only on fault machinery (a retrying send, an undelivered
+        message, a lagging semaphore view) do not count toward the
+        idle-sweep deadlock threshold.
+        """
         tbs = [
             (gpu.rank, tb) for gpu in self.ir.gpus
             for tb in gpu.threadblocks
         ]
-        pcs = {(rank, tb.tb_id): 0 for rank, tb in tbs}
-        done_steps: Dict[Tuple[int, int], int] = dict(pcs)
+        keys = [(rank, tb.tb_id) for rank, tb in tbs]
+        by_key = {(rank, tb.tb_id): (rank, tb) for rank, tb in tbs}
+        pcs = {key: 0 for key in keys}
+        done_steps: Dict[TbKey, int] = dict(pcs)
         # Per-connection message store, indexed by sequence tag, plus
         # the sender-side counter that assigns tags in program order.
         fifos: Dict[Tuple[int, int, int], Dict[int, object]] = {}
-        self._send_counters: Dict[Tuple[int, int, int], int] = {}
+        self._send_counters = {}
+        self.push_log = {}
+        self.pop_log = []
+        self.access_log = []
+        self._faults = faults
+        self._drop_remaining = dict(faults.drop_sends) if faults else {}
+        self._visible_at = {}
+        self._popped = {}
+        self._sweep = 0
+        skew = faults.semaphore_skew if faults else 0
+        snapshots: List[Dict[TbKey, int]] = []
         total = sum(len(tb.instructions) for _, tb in tbs)
         executed = 0
         idle_sweeps = 0
         while executed < total:
+            if skew:
+                snapshots.append(dict(done_steps))
+                if len(snapshots) > skew + 1:
+                    snapshots.pop(0)
+                visible_done = snapshots[0]
+            else:
+                visible_done = done_steps
+            self._fault_activity = False
+            sweep_keys = keys
+            if order is not None:
+                sweep_keys = list(order(self._sweep, tuple(keys)))
+                if sorted(sweep_keys) != sorted(keys):
+                    raise VerificationError(
+                        "sweep-order hook must return a permutation of "
+                        "the thread-block keys"
+                    )
             progressed = False
-            for rank, tb in tbs:
-                key = (rank, tb.tb_id)
+            for key in sweep_keys:
+                rank, tb = by_key[key]
                 while pcs[key] < len(tb.instructions):
                     instr = tb.instructions[pcs[key]]
-                    if not self._ready(rank, tb, instr, done_steps, fifos):
+                    if not self._ready(rank, tb, instr, visible_done,
+                                       fifos):
                         break
                     self._execute(rank, tb, instr, fifos)
                     pcs[key] += 1
                     done_steps[key] = pcs[key]
                     executed += 1
                     progressed = True
-            if not progressed:
-                idle_sweeps += 1
-                if idle_sweeps >= max_idle_sweeps:
-                    stuck = {
-                        (r, t.tb_id): pcs[(r, t.tb_id)]
-                        for r, t in tbs
-                        if pcs[(r, t.tb_id)] < len(t.instructions)
-                    }
-                    raise DeadlockError(
-                        f"executor stuck with {total - executed} "
-                        f"instructions remaining; blocked thread blocks: "
-                        f"{sorted(stuck.items())[:8]}"
-                    )
-            else:
+            self._sweep += 1
+            if progressed:
                 idle_sweeps = 0
+                continue
+            if (self._fault_activity
+                    or self._faults_pending(done_steps, snapshots)):
+                # The fault machinery is still draining (a send retry
+                # was consumed, a delivery is scheduled, or the skewed
+                # semaphore view has not converged): not a true idle
+                # sweep.
+                idle_sweeps = 0
+                continue
+            idle_sweeps += 1
+            if idle_sweeps >= max_idle_sweeps:
+                blocked = []
+                for key in keys:
+                    rank, tb = by_key[key]
+                    if pcs[key] >= len(tb.instructions):
+                        continue
+                    instr = tb.instructions[pcs[key]]
+                    blocked.append((rank, tb.tb_id, instr.step,
+                                    self._blocked_reason(
+                                        rank, tb, instr, done_steps,
+                                        fifos)))
+                detail = "\n  ".join(
+                    f"rank {rank} tb {tb_id} step {step}: {reason}"
+                    for rank, tb_id, step, reason in blocked[:12]
+                )
+                more = (f"\n  ... and {len(blocked) - 12} more"
+                        if len(blocked) > 12 else "")
+                raise DeadlockError(
+                    f"executor stuck with {total - executed} "
+                    f"instructions remaining; blocked thread blocks:\n"
+                    f"  {detail}{more}",
+                    blocked=blocked,
+                )
+
+    def _faults_pending(self, done_steps, snapshots) -> bool:
+        """Is injected-fault machinery still owed future progress?"""
+        if self._faults is None:
+            return False
+        if any(visible > self._sweep
+               for visible in self._visible_at.values()):
+            return True
+        return bool(snapshots) and snapshots[0] != done_steps
 
     def _ready(self, rank: int, tb, instr, done_steps, fifos) -> bool:
         for dep_tb, dep_step in instr.depends:
-            if done_steps[(rank, dep_tb)] <= dep_step:
+            dep_key = (rank, dep_tb)
+            if dep_key not in done_steps:
+                raise VerificationError(
+                    f"rank {rank} tb {tb.tb_id} step {instr.step} "
+                    f"depends on thread block {dep_tb}, which does not "
+                    f"exist on this rank"
+                )
+            if done_steps[dep_key] <= dep_step:
                 return False
-        if instr.op in (Op.RECV, Op.RECV_REDUCE_COPY, Op.RECV_COPY_SEND,
-                        Op.RECV_REDUCE_COPY_SEND, Op.RECV_REDUCE_SEND):
+        if instr.op in RECV_OPS:
             conn = (tb.recv_peer, rank, tb.channel)
             if instr.recv_seq not in fifos.get(conn, {}):
                 return False
+            visible = self._visible_at.get((conn, instr.recv_seq))
+            if visible is not None and visible > self._sweep:
+                return False
+        if instr.op in SEND_OPS and self._faults is not None:
+            conn = (rank, tb.send_peer, tb.channel)
+            seq = self._send_counters.get(conn, 0)
+            slots = self._faults.fifo_slots
+            if (slots is not None and seq >= slots
+                    and (seq - slots) not in self._popped.get(
+                        conn, frozenset())):
+                return False
+            drop_key = (rank, tb.send_peer, tb.channel, seq)
+            remaining = self._drop_remaining.get(drop_key, 0)
+            if remaining > 0:
+                # One failed attempt per sweep; the retry happens when
+                # the budget is spent.
+                self._drop_remaining[drop_key] = remaining - 1
+                self._fault_activity = True
+                return False
         return True
+
+    def _blocked_reason(self, rank: int, tb, instr, done_steps,
+                        fifos) -> str:
+        """Why this instruction is not ready (read-only diagnosis)."""
+        reasons = []
+        for dep_tb, dep_step in instr.depends:
+            done = done_steps.get((rank, dep_tb))
+            if done is None:
+                reasons.append(f"depends on unknown tb {dep_tb}")
+            elif done <= dep_step:
+                reasons.append(
+                    f"unmet dep on tb {dep_tb} step {dep_step} "
+                    f"(only {done} steps done)"
+                )
+        if instr.op in RECV_OPS:
+            conn = (tb.recv_peer, rank, tb.channel)
+            if instr.recv_seq not in fifos.get(conn, {}):
+                reasons.append(
+                    f"missing FIFO seq {instr.recv_seq} on connection "
+                    f"{conn[0]}->{conn[1]} ch{conn[2]}"
+                )
+            elif self._visible_at.get(
+                    (conn, instr.recv_seq), 0) > self._sweep:
+                reasons.append(
+                    f"FIFO seq {instr.recv_seq} on connection "
+                    f"{conn[0]}->{conn[1]} ch{conn[2]} held back by "
+                    f"injected delivery delay"
+                )
+        if instr.op in SEND_OPS and self._faults is not None:
+            conn = (rank, tb.send_peer, tb.channel)
+            seq = self._send_counters.get(conn, 0)
+            slots = self._faults.fifo_slots
+            if (slots is not None and seq >= slots
+                    and (seq - slots) not in self._popped.get(
+                        conn, frozenset())):
+                reasons.append(
+                    f"FIFO slot window full on connection "
+                    f"{rank}->{tb.send_peer} ch{tb.channel} (send seq "
+                    f"{seq} waits for seq {seq - slots} to drain, "
+                    f"{slots} slots)"
+                )
+            if self._drop_remaining.get(
+                    (rank, tb.send_peer, tb.channel, seq), 0) > 0:
+                reasons.append("send dropped by fault injection; "
+                               "retry pending")
+        return "; ".join(reasons) or \
+            f"op {instr.op.value} unexpectedly not ready"
+
+    def _record_accesses(self, node: InstrKey, instr) -> None:
+        """Log this instruction's local buffer reads and writes."""
+        op = instr.op
+        reads = []
+        writes = []
+        if op in (Op.SEND, Op.COPY, Op.REDUCE, Op.RECV_REDUCE_COPY,
+                  Op.RECV_REDUCE_COPY_SEND, Op.RECV_REDUCE_SEND):
+            reads.append(instr.src)
+        if op is Op.REDUCE:
+            reads.append(instr.dst)
+        if op in (Op.RECV, Op.COPY, Op.REDUCE, Op.RECV_REDUCE_COPY,
+                  Op.RECV_COPY_SEND, Op.RECV_REDUCE_COPY_SEND):
+            writes.append(instr.dst)
+        for kind, spans in (("r", reads), ("w", writes)):
+            for span in spans:
+                if span is None:
+                    continue
+                buffer, index, count = span
+                self.access_log.append(
+                    (node, kind, buffer, index, count,
+                     instr.frac_lo, instr.frac_hi)
+                )
 
     def _execute(self, rank: int, tb, instr, fifos) -> None:
         sl = self._slice(instr)
         op = instr.op
+        node: InstrKey = (rank, tb.tb_id, instr.step)
+        self._record_accesses(node, instr)
 
         def push(data: np.ndarray) -> None:
             conn = (rank, tb.send_peer, tb.channel)
             seq = self._send_counters.get(conn, 0)
             self._send_counters[conn] = seq + 1
             fifos.setdefault(conn, {})[seq] = data
+            self.push_log[(conn, seq)] = node
+            if self._faults is not None and self._faults.deliver_delay:
+                self._visible_at[(conn, seq)] = \
+                    self._sweep + self._faults.deliver_delay
 
         def pop() -> np.ndarray:
             conn = (tb.recv_peer, rank, tb.channel)
-            return fifos[conn].pop(instr.recv_seq)
+            data = fifos[conn].pop(instr.recv_seq)
+            self._visible_at.pop((conn, instr.recv_seq), None)
+            self._popped.setdefault(conn, set()).add(instr.recv_seq)
+            self.pop_log.append(PopEvent(
+                conn, instr.recv_seq,
+                self.push_log.get((conn, instr.recv_seq)), node,
+            ))
+            return data
 
         if op is Op.SEND:
             push(self._read(rank, instr.src, sl))
@@ -227,7 +503,11 @@ class IrExecutor:
                 f"chunks, e.g. {failures[:5]}"
             )
 
-    def run_and_check(self) -> None:
-        """Convenience: execute then validate."""
-        self.run()
+    def run_and_check(self, **run_kwargs) -> None:
+        """Convenience: execute then validate.
+
+        Keyword arguments (``order``, ``faults``, ``max_idle_sweeps``)
+        are forwarded to :meth:`run`.
+        """
+        self.run(**run_kwargs)
         self.check()

@@ -129,9 +129,13 @@ class SimResult:
         return self.time_us * 1e-6
 
     def algbw_gbps(self, total_bytes: float) -> float:
-        """Algorithm bandwidth: moved bytes over elapsed time."""
+        """Algorithm bandwidth: moved bytes over elapsed time.
+
+        A degenerate run (empty IR, zero elapsed time) reports ``0.0``
+        rather than infinity: no time passed because no bytes moved.
+        """
         if self.time_us <= 0:
-            return float("inf")
+            return 0.0
         return total_bytes / self.time_us / 1e3
 
 
@@ -293,6 +297,22 @@ class IrSimulator:
             spans=spans,
             graph=graph,
         )
+
+    def execution_graph(self, chunk_bytes: float = 65536.0
+                        ) -> ExecutionGraph:
+        """One traced run's happens-before graph (for cross-checking).
+
+        Convenience for consumers that want the
+        :class:`~repro.observe.ExecutionGraph` — e.g. the conformance
+        harness validating executor FIFO pops against the simulator's
+        recorded edges — without wiring up a tracer themselves.
+        """
+        from dataclasses import replace
+
+        config = replace(self.config, collect_trace=True)
+        result = IrSimulator(self.ir, self.topology, self.protocol,
+                             config).run(chunk_bytes)
+        return result.graph
 
     # -- internals --------------------------------------------------------
     def _degradation(self, resource_name: str) -> float:
@@ -647,6 +667,34 @@ class IrSimulator:
         if cross:
             return max(produce_finish, data_ready), msg
         return max(last_byte - alpha, data_ready), msg
+
+
+def happens_before_pairs(graph: ExecutionGraph
+                         ) -> Dict[str, set]:
+    """Collapse a traced run's edges to per-kind instruction pairs.
+
+    Tiles are the simulator's pipelining artifact; the executor runs
+    each instruction once. Folding ``(rank, tb, tile, step)`` node keys
+    down to ``(rank, tb, step)`` yields the instruction-level
+    happens-before relation both runtimes must agree on: the returned
+    dict maps each edge kind (``"fifo"``, ``"sem"``, ``"slot"``, plus
+    implicit ``"program"`` order) to a set of
+    ``((rank, tb, step), (rank, tb, step))`` pairs.
+    """
+    pairs: Dict[str, set] = {
+        "fifo": set(), "sem": set(), "slot": set(), "program": set(),
+    }
+    for edge in graph.edges:
+        if edge.src is None:
+            continue
+        src = (edge.src[0], edge.src[1], edge.src[3])
+        dst = (edge.dst[0], edge.dst[1], edge.dst[3])
+        pairs.setdefault(edge.kind, set()).add((src, dst))
+    for src, dst in graph.iter_program_edges():
+        pairs["program"].add(
+            ((src[0], src[1], src[3]), (dst[0], dst[1], dst[3]))
+        )
+    return pairs
 
 
 def _transfer_segments(segs: List[Segment], lo: float, hi: float,

@@ -16,6 +16,10 @@ Subcommands:
 * ``diagnose`` — compile + simulate with tracing and run the
   dependency-aware bottleneck analysis: exact critical-path
   attribution, hints, and optionally a chunk's hop-by-hop journey.
+* ``conform``  — run the differential conformance + fault-injection
+  harness: shuffled-schedule order invariance, executor-vs-simulator
+  FIFO cross-checks, a static race scan, and fault plans; prints a
+  per-algorithm verdict and exits nonzero on any witness.
 
 Example::
 
@@ -299,6 +303,58 @@ def _diagnose(args) -> int:
     return 0
 
 
+def _conform(args) -> int:
+    import json as _json
+    from pathlib import Path as _Path
+
+    from ..conformance import ConformanceConfig, run_conformance
+
+    names = (sorted(ALGORITHMS) if args.algorithm == "all"
+             else [args.algorithm])
+    for name in names:
+        if name not in ALGORITHMS:
+            raise SystemExit(
+                f"unknown algorithm {name!r}; choose from "
+                f"{', '.join(sorted(ALGORITHMS))} or 'all'"
+            )
+    topology = build_topology(args)
+    config = ConformanceConfig(
+        seeds=args.seeds,
+        elements_per_chunk=args.elements,
+        inject_faults=not args.no_faults,
+        topology=topology,
+    )
+    reports = []
+    failures = 0
+    for name in names:
+        view = argparse.Namespace(**{**vars(args), "algorithm": name})
+        program = ALGORITHMS[name](view)
+        algo = compile_program(program, CompilerOptions(
+            max_threadblocks=topology.machine.sm_count
+        ))
+        report = run_conformance(algo, config)
+        reports.append((name, report))
+        print(report.text())
+        if not report.ok:
+            failures += 1
+            if args.witness_dir:
+                witness_dir = _Path(args.witness_dir)
+                witness_dir.mkdir(parents=True, exist_ok=True)
+                path = witness_dir / f"{name}.witness.json"
+                path.write_text(_json.dumps(report.to_dict(), indent=2))
+                print(f"# witnesses written to {path}", file=sys.stderr)
+    if args.json:
+        _Path(args.json).write_text(_json.dumps(
+            [report.to_dict() for _, report in reports], indent=2
+        ))
+        print(f"# reports written to {args.json}", file=sys.stderr)
+    verdict = "FAIL" if failures else "PASS"
+    print(f"{verdict}: {len(reports) - failures}/{len(reports)} "
+          f"algorithm(s) conform ({args.seeds} seeds, "
+          f"{args.ranks} ranks, {args.nodes} node(s))")
+    return 1 if failures else 0
+
+
 def _report(args) -> int:
     from pathlib import Path
 
@@ -431,6 +487,47 @@ def main(argv: Optional[list] = None) -> int:
              "name it *.diagnose.json to fold into `repro-tools report`",
     )
     diagnose_parser.set_defaults(func=_diagnose)
+
+    conform_parser = sub.add_parser(
+        "conform",
+        help="differential conformance + fault injection for the "
+             "runtime (exit nonzero on any witness)",
+    )
+    conform_parser.add_argument(
+        "algorithm", nargs="?", default="all",
+        help="algorithm name, or 'all' (default) for every "
+             "registered algorithm",
+    )
+    conform_parser.add_argument("--ranks", type=int, default=8)
+    conform_parser.add_argument("--nodes", type=int, default=1)
+    conform_parser.add_argument("--channels", type=int, default=1)
+    conform_parser.add_argument("--instances", type=int, default=1)
+    conform_parser.add_argument("--protocol", default="Simple",
+                                choices=["Simple", "LL", "LL128"])
+    conform_parser.add_argument("--topology", default="generic",
+                                choices=["generic", *TOPOLOGIES])
+    conform_parser.add_argument(
+        "--seeds", type=int, default=5,
+        help="shuffled-schedule rounds per algorithm",
+    )
+    conform_parser.add_argument(
+        "--elements", type=int, default=8,
+        help="elements per chunk in the data-level executor",
+    )
+    conform_parser.add_argument(
+        "--no-faults", action="store_true",
+        help="skip the fault-injection plans",
+    )
+    conform_parser.add_argument(
+        "--json", default=None,
+        help="write all conformance reports as JSON to this path",
+    )
+    conform_parser.add_argument(
+        "--witness-dir", default=None,
+        help="write <algorithm>.witness.json here for every failing "
+             "algorithm (CI artifact upload)",
+    )
+    conform_parser.set_defaults(func=_conform)
 
     report_parser = sub.add_parser(
         "report", help="assemble the evaluation report from results/"

@@ -1,0 +1,259 @@
+"""Tests for the differential conformance + fault-injection harness."""
+
+import json
+
+import pytest
+
+from repro.conformance import (
+    ConformanceConfig,
+    check_conformance,
+    displaced_blocks,
+    find_races,
+    fold_into_diagnosis,
+    minimize_order,
+    run_conformance,
+    shuffled_order,
+)
+from repro.conformance.witness import ConformanceReport, Witness
+from repro.core import CompilerOptions, ConformanceError, compile_program
+from repro.algorithms import allpairs_allreduce
+from repro.tools.cli import main as cli_main
+from tests.conftest import build_ring_allreduce
+
+
+def break_dependency(algo, position: int = 0):
+    """Delete the ``position``-th cross-thread-block dependency.
+
+    Returns the ``(rank, tb, step, deleted_deps)`` site, or None when
+    the IR has fewer dependencies than ``position`` + 1. Compiling with
+    ``optimize=True`` first matters: the redundant-dep eliminator has
+    already run, so every surviving dep is load-bearing and deleting it
+    creates a real race.
+    """
+    seen = 0
+    for gpu in algo.ir.gpus:
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                if not instr.depends:
+                    continue
+                if seen == position:
+                    deleted = list(instr.depends)
+                    instr.depends = []
+                    return (gpu.rank, tb.tb_id, instr.step, deleted)
+                seen += 1
+    return None
+
+
+@pytest.fixture
+def allpairs4():
+    """Compiled 4-rank allpairs allreduce (optimized: deps are live)."""
+    program = allpairs_allreduce(4, protocol="Simple")
+    return compile_program(program, CompilerOptions(optimize=True))
+
+
+class TestCleanAlgorithms:
+    def test_ring_conforms(self, ring4):
+        algo = compile_program(ring4, CompilerOptions())
+        report = run_conformance(algo)
+        assert report.ok, report.text()
+        # Every advertised check actually ran.
+        assert report.rounds["order"] == 5
+        assert report.rounds["race-scan"] == 1
+        assert report.rounds["pop-check"] > 0
+        assert report.rounds["faults"] > 0
+
+    def test_allpairs_conforms(self, allpairs4):
+        report = run_conformance(allpairs4)
+        assert report.ok, report.text()
+
+    def test_check_conformance_returns_report(self, ring4):
+        algo = compile_program(ring4, CompilerOptions())
+        report = check_conformance(algo)
+        assert report.ok
+
+    def test_raw_ir_needs_explicit_collective(self, ring4_ir):
+        with pytest.raises(ValueError, match="collective"):
+            run_conformance(ring4_ir)
+
+    def test_undersized_slot_window_deadlock_is_accepted(self, ring4):
+        # fifo_slots=1 fails the static audit for the 4-ring, so the
+        # executor's DeadlockError is conforming behaviour, not a
+        # witness.
+        algo = compile_program(ring4, CompilerOptions())
+        report = run_conformance(algo)
+        assert report.ok
+        assert report.rounds.get("fault-deadlock-accepted", 0) >= 1
+
+
+class TestBrokenIr:
+    """Acceptance: a hand-broken IR yields a minimized race witness."""
+
+    def test_deleted_dep_names_racing_pair(self, allpairs4):
+        site = break_dependency(allpairs4)
+        assert site is not None
+        report = run_conformance(allpairs4)
+        assert not report.ok
+        races = [w for w in report.witnesses if w.kind == "race"]
+        assert races, report.text()
+        rank, tb, step, _deleted = site
+        # The broken instruction is one side of a reported racing pair.
+        assert any((rank, tb, step) in witness.pair
+                   for witness in races if witness.pair)
+
+    def test_order_variance_witness_is_minimized(self):
+        # Deleting the *second* dep keeps the program-order baseline
+        # correct but makes shuffled schedules diverge: the witness
+        # must carry a reduced schedule whose displaced blocks include
+        # a racing thread block.
+        program = allpairs_allreduce(4, protocol="Simple")
+        algo = compile_program(program, CompilerOptions(optimize=True))
+        site = break_dependency(algo, position=1)
+        assert site is not None
+        report = run_conformance(algo)
+        variance = [w for w in report.witnesses
+                    if w.kind == "order-variance"]
+        assert variance, report.text()
+        witness = variance[0]
+        assert witness.schedule is not None
+        assert witness.displaced  # some blocks remain displaced
+        assert len(witness.displaced) < len(witness.schedule)
+        assert witness.pair is not None  # race scan attributed it
+
+    def test_check_conformance_raises_with_witnesses(self, allpairs4):
+        break_dependency(allpairs4)
+        with pytest.raises(ConformanceError) as excinfo:
+            check_conformance(allpairs4)
+        assert excinfo.value.witnesses
+        assert "racing pair" in str(excinfo.value)
+
+
+class TestRaceScan:
+    def test_clean_ir_has_no_races(self, ring4):
+        algo = compile_program(ring4, CompilerOptions())
+        from repro.runtime import IrExecutor
+
+        executor = IrExecutor(algo.ir, algo.collective)
+        executor.run()
+        assert find_races(algo.ir, executor.access_log) == []
+
+    def test_broken_ir_reports_location(self, allpairs4):
+        break_dependency(allpairs4)
+        from repro.runtime import IrExecutor
+
+        executor = IrExecutor(allpairs4.ir, allpairs4.collective)
+        executor.run()
+        races = find_races(allpairs4.ir, executor.access_log)
+        assert races
+        node_a, node_b, location = races[0]
+        assert node_a != node_b
+        assert "rank" in location and "[" in location
+
+
+class TestScheduleTools:
+    BASE = [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_shuffled_order_is_seeded_permutation(self):
+        first = shuffled_order(7, self.BASE)
+        again = shuffled_order(7, self.BASE)
+        other = shuffled_order(8, self.BASE)
+        assert first == again
+        assert sorted(first) == sorted(self.BASE)
+        assert first != other or len(self.BASE) <= 1
+
+    def test_displaced_blocks(self):
+        moved = [self.BASE[1], self.BASE[0], *self.BASE[2:]]
+        assert displaced_blocks(self.BASE, moved) == \
+            [self.BASE[1], self.BASE[0]]
+        assert displaced_blocks(self.BASE, self.BASE) == []
+
+    def test_minimize_order_keeps_only_needed_displacement(self):
+        # Failure iff (1, 1) is serviced before (0, 0): minimization
+        # must undo every other displacement.
+        failing = [(1, 1), (1, 0), (0, 1), (0, 0)]
+
+        def still_fails(order):
+            return order.index((1, 1)) < order.index((0, 0))
+
+        reduced = minimize_order(self.BASE, failing, still_fails)
+        assert still_fails(reduced)
+        displaced = displaced_blocks(self.BASE, reduced)
+        assert set(displaced) <= {(1, 1), (0, 0), (0, 1), (1, 0)}
+        assert len(displaced) < len(
+            displaced_blocks(self.BASE, failing)) + 1
+
+    def test_minimize_order_respects_trial_budget(self):
+        calls = []
+
+        def still_fails(order):
+            calls.append(1)
+            return True
+
+        minimize_order(self.BASE, list(reversed(self.BASE)),
+                       still_fails, max_trials=3)
+        assert len(calls) <= 3
+
+
+class TestReportAndDiagnosis:
+    def test_report_serializes(self, ring4):
+        algo = compile_program(ring4, CompilerOptions())
+        report = run_conformance(algo)
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["algorithm"] == algo.ir.name
+        json.dumps(payload)  # JSON-safe end to end
+
+    def test_witness_summary_names_pair(self):
+        witness = Witness("race", "conflict", pair=((0, 1, 2), (0, 2, 3)))
+        summary = witness.summary()
+        assert "r0/tb1/step2" in summary and "r0/tb2/step3" in summary
+
+    def test_fold_into_diagnosis(self, ring4):
+        from repro.observe import diagnose, diagnose_text
+        from repro.runtime import IrSimulator, SimConfig
+        from repro.topology import generic
+
+        algo = compile_program(ring4, CompilerOptions())
+        result = IrSimulator(
+            algo.ir, generic(4), config=SimConfig(collect_trace=True)
+        ).run(chunk_bytes=1024)
+        diag = diagnose(result)
+        report = ConformanceReport(algorithm="x", seeds=1)
+        report.witnesses.append(Witness("race", "conflict at rank 0"))
+        fold_into_diagnosis(diag, report)
+        assert diag.witnesses == ["[race] conflict at rank 0"]
+        assert "conformance witnesses:" in diagnose_text(diag)
+
+    def test_config_toggles_skip_checks(self, ring4):
+        algo = compile_program(ring4, CompilerOptions())
+        report = run_conformance(algo, ConformanceConfig(
+            seeds=2, check_fifo_edges=False, check_races=False,
+            inject_faults=False,
+        ))
+        assert report.ok
+        assert "pop-check" not in report.rounds
+        assert "race-scan" not in report.rounds
+        assert "faults" not in report.rounds
+        assert report.rounds["order"] == 2
+
+
+class TestCli:
+    def test_conform_single_algorithm(self, capsys):
+        code = cli_main(["conform", "ring_allreduce", "--ranks", "4",
+                         "--seeds", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out and "1/1" in out
+
+    def test_conform_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "reports.json"
+        code = cli_main(["conform", "ring_allreduce", "--ranks", "4",
+                         "--seeds", "1", "--no-faults",
+                         "--json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload[0]["ok"] is True
+        assert "faults" not in payload[0]["rounds"]
+
+    def test_conform_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            cli_main(["conform", "not_an_algorithm"])

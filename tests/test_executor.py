@@ -16,7 +16,7 @@ from repro.core import (
 )
 from repro.core.chunk import InputChunk, ReductionChunk
 from repro.core.ir import GpuProgram, IrInstruction, MscclIr, ThreadBlock
-from repro.runtime import IrExecutor
+from repro.runtime import FaultPlan, IrExecutor
 from tests.conftest import build_ring_allreduce
 
 
@@ -112,6 +112,163 @@ class TestFailureDetection:
         executor.buffers[(0, Buffer.OUTPUT)][0, 0] = np.nan
         with pytest.raises(VerificationError):
             executor.check()
+
+
+class TestDeadlockDiagnostics:
+    def _recv_without_sender_ir(self):
+        """Rank 0 expects a message rank 1 never sends."""
+        ir = MscclIr(name="no_sender", collective="allreduce",
+                     protocol="Simple", num_ranks=2, in_place=True)
+        for rank in range(2):
+            gpu = GpuProgram(rank=rank, input_chunks=0, output_chunks=2,
+                             scratch_chunks=0)
+            if rank == 0:
+                tb = ThreadBlock(tb_id=0, send_peer=None, recv_peer=1,
+                                 channel=0)
+                tb.instructions.append(IrInstruction(
+                    step=0, op=Op.RECV, dst=(Buffer.OUTPUT, 0, 1),
+                    recv_seq=0,
+                ))
+                gpu.threadblocks.append(tb)
+            ir.gpus.append(gpu)
+        return ir
+
+    def _unmet_dep_ir(self):
+        """tb 1 waits on tb 0, which itself waits on a missing recv."""
+        ir = self._recv_without_sender_ir()
+        tb = ThreadBlock(tb_id=1, send_peer=None, recv_peer=None,
+                         channel=0)
+        tb.instructions.append(IrInstruction(
+            step=0, op=Op.COPY, src=(Buffer.OUTPUT, 0, 1),
+            dst=(Buffer.OUTPUT, 1, 1), depends=[(0, 0)],
+        ))
+        ir.gpus[0].threadblocks.append(tb)
+        return ir
+
+    def test_deadlock_names_missing_fifo_seq(self):
+        coll = AllReduce(2, chunk_factor=2, in_place=True)
+        with pytest.raises(DeadlockError) as excinfo:
+            IrExecutor(self._recv_without_sender_ir(), coll).run()
+        message = str(excinfo.value)
+        assert "rank 0 tb 0 step 0" in message
+        assert "missing FIFO seq 0" in message
+        assert "1->0 ch0" in message  # the starved connection
+
+    def test_deadlock_names_unmet_dependency(self):
+        coll = AllReduce(2, chunk_factor=2, in_place=True)
+        with pytest.raises(DeadlockError) as excinfo:
+            IrExecutor(self._unmet_dep_ir(), coll).run()
+        message = str(excinfo.value)
+        assert "unmet dep on tb 0 step 0" in message
+        # Structured form carries one entry per blocked thread block.
+        blocked = excinfo.value.blocked
+        assert {(rank, tb_id) for rank, tb_id, _, _ in blocked} == \
+            {(0, 0), (0, 1)}
+
+    def test_unknown_dep_threadblock_is_verification_error(self):
+        ir = self._unmet_dep_ir()
+        ir.gpus[0].threadblocks[1].instructions[0].depends = [(7, 0)]
+        coll = AllReduce(2, chunk_factor=2, in_place=True)
+        with pytest.raises(VerificationError) as excinfo:
+            IrExecutor(ir, coll).run()
+        message = str(excinfo.value)
+        assert "rank 0 tb 1 step 0" in message
+        assert "thread block 7" in message
+
+
+class TestSweepOrder:
+    def test_any_order_is_bitwise_identical(self, ring4_ir, ring4):
+        baseline = IrExecutor(ring4_ir, ring4.collective)
+        baseline.run()
+        reordered = IrExecutor(ring4_ir, ring4.collective)
+        reordered.run(order=lambda sweep, keys: list(reversed(keys)))
+        for key, array in baseline.buffers.items():
+            np.testing.assert_array_equal(
+                array, reordered.buffers[key]
+            )
+
+    def test_non_permutation_order_rejected(self, ring4_ir, ring4):
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        with pytest.raises(VerificationError, match="permutation"):
+            executor.run(order=lambda sweep, keys: list(keys)[:-1])
+
+
+class TestFaultInjection:
+    def test_deliver_delay_still_correct(self, ring4_ir, ring4):
+        IrExecutor(ring4_ir, ring4.collective).run_and_check(
+            faults=FaultPlan(deliver_delay=3)
+        )
+
+    def test_dropped_sends_are_retried(self, ring4_ir, ring4):
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        # Drop the first two messages of the 0->1 connection twice each.
+        executor.run_and_check(faults=FaultPlan(
+            drop_sends={(0, 1, 0, 0): 2, (0, 1, 0, 1): 2}
+        ))
+
+    def test_semaphore_skew_still_correct(self):
+        from repro.algorithms import allpairs_allreduce
+        from repro.core import compile_program as compile_
+
+        program = allpairs_allreduce(4, protocol="Simple")
+        algo = compile_(program, CompilerOptions(optimize=True))
+        assert any(instr.depends for gpu in algo.ir.gpus
+                   for tb in gpu.threadblocks
+                   for instr in tb.instructions)
+        IrExecutor(algo.ir, algo.collective).run_and_check(
+            faults=FaultPlan(semaphore_skew=2)
+        )
+
+    def test_undersized_slot_window_raises_typed_deadlock(
+            self, ring4_ir, ring4):
+        # The 4-ring needs more than one in-flight message per
+        # connection; a 1-slot window must fail as a DeadlockError
+        # naming the full slot window, never hang or corrupt data.
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        with pytest.raises(DeadlockError, match="slot window full"):
+            executor.run(faults=FaultPlan(fifo_slots=1))
+
+    def test_audited_slot_window_completes(self, ring4_ir, ring4):
+        IrExecutor(ring4_ir, ring4.collective).run_and_check(
+            faults=FaultPlan(fifo_slots=2)
+        )
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(fifo_slots=0)
+        with pytest.raises(ValueError):
+            FaultPlan(deliver_delay=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(semaphore_skew=-2)
+
+    def test_describe_lists_active_faults(self):
+        plan = FaultPlan(fifo_slots=2, deliver_delay=1,
+                         drop_sends={(0, 1, 0, 3): 2})
+        text = plan.describe()
+        assert "fifo_slots=2" in text
+        assert "deliver_delay=1" in text
+        assert "0->1 ch0 seq3 x2" in text
+        assert FaultPlan().describe() == "no faults"
+
+
+class TestEventLogs:
+    def test_every_pop_has_a_known_producer(self, ring4_ir, ring4):
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        executor.run()
+        assert executor.pop_log
+        assert all(event.producer is not None
+                   for event in executor.pop_log)
+        # Each pop consumed exactly the message its seq tag names.
+        assert all(
+            executor.push_log[(event.conn, event.seq)] == event.producer
+            for event in executor.pop_log
+        )
+
+    def test_access_log_covers_reads_and_writes(self, ring4_ir, ring4):
+        executor = IrExecutor(ring4_ir, ring4.collective)
+        executor.run()
+        kinds = {row[1] for row in executor.access_log}
+        assert kinds == {"r", "w"}
 
 
 class TestFractionSlicing:
