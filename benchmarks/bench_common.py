@@ -7,6 +7,11 @@ prints the speedup table (the figure's series), writes it to
 
 Scale control: the default configurations are laptop-sized; set
 ``REPRO_FULL=1`` for the paper's full node counts and dense size grids.
+Set ``REPRO_JOBS=N`` to shard each figure's (config x size) grid over N
+worker processes — ``run_sweep`` reads it by default, and the merged
+tables are bitwise-identical to a sequential run. Compiled IR persists
+in the on-disk compile cache (``REPRO_CACHE_DIR``), so back-to-back
+figure runs skip recompilation entirely.
 """
 
 from __future__ import annotations

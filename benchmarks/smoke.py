@@ -9,6 +9,10 @@ behind something a human can open when a perf number looks off.
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke.py --out-dir smoke-artifacts
+
+``--jobs N`` (or ``REPRO_JOBS=N``) shards the (config x size) grid
+across worker processes; the merged series are bitwise-identical to a
+sequential run, so CI can compare the JSON field-for-field.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ import json
 from pathlib import Path
 
 from repro.algorithms import allpairs_allreduce, ring_allreduce
-from repro.analysis import ir_timer
+from repro.analysis import chunk_bytes_for, ir_timer, pool_stats, run_sweep
 from repro.core import (
     CompilerOptions,
     compile_program,
@@ -60,15 +64,17 @@ def _configs(topology):
     return timers
 
 
-def run_smoke(out_dir: Path) -> dict:
+def run_smoke(out_dir: Path, jobs=None) -> dict:
     out_dir.mkdir(parents=True, exist_ok=True)
     topology = ndv4(1)
     nccl = NcclModel(ndv4(1))
     timers = _configs(topology)
 
-    series = {}
-    for label, timer in timers.items():
-        series[label] = [round(timer(size), 3) for size in SIZES]
+    sweep = run_sweep("fig8a_smoke", SIZES, timers, jobs=jobs)
+    series = {
+        label: [round(us, 3) for us in sweep.series[label].times_us]
+        for label in timers
+    }
     series[BASELINE] = [
         round(nccl.allreduce_time(size).time_us, 3) for size in SIZES
     ]
@@ -91,7 +97,7 @@ def run_smoke(out_dir: Path) -> dict:
     ))
     result = IrSimulator(
         algo.ir, topology, config=SimConfig(tracer=tracer)
-    ).run(chunk_bytes=MiB / algo.sizing_chunks())
+    ).run(chunk_bytes=chunk_bytes_for(MiB, algo.sizing_chunks()))
     write_chrome_trace(out_dir / "ring_smoke_trace.json", tracer)
     diag = diagnose(result)
     payload = diagnosis_dict(diag)
@@ -115,6 +121,7 @@ def run_smoke(out_dir: Path) -> dict:
             "time_us": round(diag.time_us, 3),
         },
         "compile_cache": default_compile_cache().stats(),
+        "workers": pool_stats(),
     }
     (out_dir / "BENCH_smoke.json").write_text(json.dumps(doc, indent=2))
     return doc
@@ -124,8 +131,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out-dir", default="smoke-artifacts",
                         type=Path)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweep (default: $REPRO_JOBS "
+             "or 1)",
+    )
     args = parser.parse_args(argv)
-    doc = run_smoke(args.out_dir)
+    doc = run_smoke(args.out_dir, jobs=args.jobs)
     # Sanity gates: the smoke run must stay qualitatively sane, not
     # bit-exact — a real regression trips these long before review.
     ring = doc["speedup_vs_nccl"]["Ring ch=4 r=8 LL"]

@@ -24,6 +24,8 @@ from ..core.program import MSCCLProgram
 from ..runtime.config import AlgorithmRegistry
 from ..runtime.simulator import IrSimulator, SimConfig
 from ..topology.model import Topology
+from .parallel import parallel_map, resolve_jobs
+from .sweep import IrTimer, _eval_point, chunk_bytes_for
 
 # builder(channels=..., instances=..., protocol=...) -> MSCCLProgram
 Builder = Callable[..., MSCCLProgram]
@@ -88,10 +90,21 @@ def default_space(max_channels: int = 8,
 def tune(builder: Builder, topology: Topology, sizes: Sequence[int],
          collective_sizing_chunks: int, *,
          space: Optional[List[Candidate]] = None,
-         sim_config: Optional[SimConfig] = None) -> TuningResult:
-    """Explore the space and pick the fastest candidate per size."""
+         sim_config: Optional[SimConfig] = None,
+         jobs: Optional[int] = None, tracer=None) -> TuningResult:
+    """Explore the space and pick the fastest candidate per size.
+
+    Candidates compile sequentially in this process (sharing the
+    two-tier compile cache), then ``jobs`` > 1 (default:
+    ``$REPRO_JOBS``, else 1) shards the (candidate x size) simulations
+    across worker processes. Results merge in the sequential order —
+    sizes outer, candidates inner, first strictly-faster candidate
+    winning — so the parallel :class:`TuningResult` is bitwise-identical
+    to the sequential one.
+    """
     space = space if space is not None else default_space()
     config = sim_config or SimConfig()
+    jobs = resolve_jobs(jobs)
     # Tuning loops re-run with overlapping candidate spaces; the
     # compile cache turns every previously-seen candidate into a hit.
     options = CompilerOptions(
@@ -119,14 +132,37 @@ def tune(builder: Builder, topology: Topology, sizes: Sequence[int],
             "the SM budget everywhere"
         )
 
+    if jobs == 1:
+        times = {}
+        for size in result.sizes:
+            for candidate, ir in compiled.items():
+                simulator = IrSimulator(ir, topology, config=config)
+                times[(candidate, size)] = simulator.run(
+                    chunk_bytes=chunk_bytes_for(
+                        size, collective_sizing_chunks)
+                ).time_us
+    else:
+        timers = {
+            candidate: IrTimer(ir, topology, collective_sizing_chunks,
+                               config)
+            for candidate, ir in compiled.items()
+        }
+        tasks = [
+            (timers[candidate], size)
+            for size in result.sizes for candidate in result.candidates
+        ]
+        flat = iter(parallel_map(_eval_point, tasks, jobs=jobs,
+                                 tracer=tracer, label="tune"))
+        times = {
+            (candidate, size): next(flat)
+            for size in result.sizes for candidate in result.candidates
+        }
+
     for size in result.sizes:
         best_candidate = None
         best_time = float("inf")
-        for candidate, ir in compiled.items():
-            simulator = IrSimulator(ir, topology, config=config)
-            elapsed = simulator.run(
-                chunk_bytes=size / collective_sizing_chunks
-            ).time_us
+        for candidate in result.candidates:
+            elapsed = times[(candidate, size)]
             result.times[(candidate, size)] = elapsed
             if elapsed < best_time:
                 best_time = elapsed

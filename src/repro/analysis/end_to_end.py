@@ -44,6 +44,10 @@ class WorkloadModel:
         under compute (e.g. gradient-bucket overlap in data parallel
         training).
         """
+        if not 0.0 <= overlap < 1.0:
+            raise ValueError(
+                f"overlap must be in [0, 1), got {overlap}"
+            )
         comm = sum(
             call.calls_per_step * timers[call.name](call.buffer_bytes)
             for call in self.calls
@@ -54,6 +58,10 @@ class WorkloadModel:
             self, timers: Dict[str, Callable[[float], float]]) -> float:
         """Share of the (non-overlapped) step spent communicating."""
         total = self.step_time_us(timers)
+        if total <= 0.0:
+            # A degenerate model (no compute, free collectives) spends
+            # nothing anywhere; report 0 rather than dividing by zero.
+            return 0.0
         return 1.0 - self.compute_us / total
 
     def speedup(self, baseline_timers, optimized_timers,

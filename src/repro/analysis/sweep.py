@@ -4,11 +4,17 @@ A sweep takes named *configurations* (compiled IRs or arbitrary
 ``time_us(buffer_bytes)`` callables), runs them over a geometric grid of
 buffer sizes on one topology, and returns a :class:`SweepResult` with
 per-size latencies, ready for speedup computation and table rendering.
+
+Sweeps parallelize: ``run_sweep(..., jobs=N)`` (or ``REPRO_JOBS=N``)
+shards the (configuration x size) points across the
+:mod:`repro.analysis.parallel` worker pool, with results merged in task
+order so the parallel table is bitwise-identical to the sequential one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.cache import default_compile_cache
@@ -16,9 +22,9 @@ from ..core.collectives import Collective
 from ..core.compiler import (CompiledAlgorithm, CompilerOptions,
                              compile_program)
 from ..core.ir import MscclIr
-from ..core.program import MSCCLProgram
 from ..runtime.simulator import IrSimulator, SimConfig
 from ..topology.model import Topology
+from .parallel import parallel_map, resolve_jobs
 
 KiB = 1024
 MiB = 1024 * 1024
@@ -27,6 +33,15 @@ GiB = 1024 * 1024 * 1024
 
 def size_grid(start_bytes: int, end_bytes: int) -> List[int]:
     """Powers of two from start to end inclusive (the figures' x axes)."""
+    if start_bytes <= 0:
+        raise ValueError(
+            f"start_bytes must be positive, got {start_bytes}"
+        )
+    if start_bytes > end_bytes:
+        raise ValueError(
+            f"empty size grid: start_bytes={start_bytes} exceeds "
+            f"end_bytes={end_bytes}"
+        )
     sizes = []
     size = start_bytes
     while size <= end_bytes:
@@ -41,7 +56,25 @@ def format_size(nbytes: float) -> str:
         return f"{nbytes / GiB:g}GB"
     if nbytes >= MiB:
         return f"{nbytes / MiB:g}MB"
-    return f"{nbytes / KiB:g}KB"
+    if nbytes >= KiB:
+        return f"{nbytes / KiB:g}KB"
+    return f"{nbytes:g}B"
+
+
+def chunk_bytes_for(buffer_bytes: float, chunks: int) -> int:
+    """Bytes per chunk when a call buffer divides into ``chunks``.
+
+    Rounded *up*, matching how the runtime tiles real buffers: a
+    970-byte buffer over 8 chunks moves 8 chunks of 122 bytes, not
+    fractional 121.25-byte chunks. Every byte->chunk sizing in the
+    evaluation path (sweeps, tuning, the CLI) goes through here so
+    they can never disagree.
+    """
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    if buffer_bytes < 0:
+        raise ValueError(f"buffer_bytes must be >= 0, got {buffer_bytes}")
+    return int(math.ceil(buffer_bytes / chunks))
 
 
 @dataclass
@@ -94,16 +127,17 @@ TimeFn = Callable[[float], float]
 Config = Union[MscclIr, TimeFn]
 
 
-def compile_for(topology: Topology, program: MSCCLProgram,
+def compile_for(topology: Topology, program,
                 options: Optional[CompilerOptions] = None,
                 ) -> CompiledAlgorithm:
     """Compile with the topology's SM limit applied.
 
     Sweeps re-trace and recompile the same configurations over and
     over (every figure bench, every tuning pass), so compiles here go
-    through the process-wide content-addressed compile cache: the
-    second identical (program trace, options) pair is a hit, not a
-    recompile. Explicit ``options`` are used as given — set
+    through the process-wide content-addressed compile cache — memory
+    tier plus the persistent disk tier, so repeat *invocations* hit
+    too: the second identical (program trace, options) pair is a hit,
+    not a recompile. Explicit ``options`` are used as given — set
     ``options.cache`` yourself to opt in.
     """
     options = options or CompilerOptions(
@@ -113,25 +147,85 @@ def compile_for(topology: Topology, program: MSCCLProgram,
     return compile_program(program, options)
 
 
+class IrTimer:
+    """A picklable ``time_us(buffer_bytes)`` callable for a compiled IR.
+
+    What :func:`ir_timer` returns. Instances survive pickling — the IR
+    crosses process boundaries as its JSON serialization, and tracers
+    (which cannot be pickled) are dropped from the sim config — so
+    sweep points can be sharded across the
+    :mod:`repro.analysis.parallel` worker pool.
+    """
+
+    def __init__(self, ir: Union[MscclIr, CompiledAlgorithm],
+                 topology: Topology, chunks: int,
+                 config: Optional[SimConfig] = None):
+        self.ir = ir.ir if isinstance(ir, CompiledAlgorithm) else ir
+        self.topology = topology
+        self.chunks = chunks
+        self.config = config or SimConfig()
+
+    def __call__(self, buffer_bytes: float) -> float:
+        sim = IrSimulator(self.ir, self.topology, config=self.config)
+        return sim.run(
+            chunk_bytes=chunk_bytes_for(buffer_bytes, self.chunks)
+        ).time_us
+
+    def __getstate__(self):
+        config = self.config
+        if config.tracer is not None:
+            config = replace(config, tracer=None)
+        return {"ir_json": self.ir.to_json(), "topology": self.topology,
+                "chunks": self.chunks, "config": config}
+
+    def __setstate__(self, state):
+        self.ir = MscclIr.from_json(state["ir_json"])
+        self.topology = state["topology"]
+        self.chunks = state["chunks"]
+        self.config = state["config"]
+
+
 def ir_timer(ir: Union[MscclIr, CompiledAlgorithm], topology: Topology,
              collective: Collective,
-             sim_config: Optional[SimConfig] = None) -> TimeFn:
+             sim_config: Optional[SimConfig] = None) -> IrTimer:
     """A ``time_us(buffer_bytes)`` function for a compiled IR."""
-    chunks = collective.sizing_chunks()
-    config = sim_config or SimConfig()
+    return IrTimer(ir, topology, collective.sizing_chunks(), sim_config)
 
-    def time_us(buffer_bytes: float) -> float:
-        sim = IrSimulator(ir, topology, config=config)
-        return sim.run(chunk_bytes=buffer_bytes / chunks).time_us
 
-    return time_us
+def _eval_point(task) -> float:
+    """One (timer, size) sweep point; module-level for the pool."""
+    timer, size = task
+    return timer(size)
 
 
 def run_sweep(title: str, sizes: Sequence[int],
-              configs: Dict[str, TimeFn]) -> SweepResult:
-    """Evaluate every configuration's timer over the size grid."""
-    result = SweepResult(title=title, sizes=list(sizes))
-    for label, timer in configs.items():
-        times = [timer(size) for size in sizes]
-        result.add(Series(label=label, sizes=list(sizes), times_us=times))
+              configs: Dict[str, TimeFn], *,
+              jobs: Optional[int] = None,
+              tracer=None) -> SweepResult:
+    """Evaluate every configuration's timer over the size grid.
+
+    ``jobs`` > 1 (default: ``$REPRO_JOBS``, else 1) shards the
+    (configuration x size) points across worker processes; results are
+    merged in configuration-then-size order, so the parallel result is
+    bitwise-identical to the sequential one. Timers that cannot be
+    pickled (ad-hoc lambdas) are evaluated inline in the parent.
+    """
+    jobs = resolve_jobs(jobs)
+    sizes = list(sizes)
+    result = SweepResult(title=title, sizes=sizes)
+    labels = list(configs)
+    if jobs == 1:
+        for label in labels:
+            timer = configs[label]
+            times = [timer(size) for size in sizes]
+            result.add(Series(label=label, sizes=list(sizes),
+                              times_us=times))
+        return result
+    tasks = [(configs[label], size) for label in labels for size in sizes]
+    flat = parallel_map(_eval_point, tasks, jobs=jobs, tracer=tracer,
+                        label="sweep")
+    for offset, label in enumerate(labels):
+        times = flat[offset * len(sizes):(offset + 1) * len(sizes)]
+        result.add(Series(label=label, sizes=list(sizes),
+                          times_us=list(times)))
     return result

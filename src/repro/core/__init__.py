@@ -33,7 +33,8 @@ from .collectives import (
     ReduceScatter,
     Scatter,
 )
-from .cache import CompileCache, default_compile_cache, program_digest
+from .cache import (CompileCache, DiskCacheTier, default_compile_cache,
+                    program_digest, reset_default_compile_cache)
 from .compiler import CompiledAlgorithm, CompilerOptions, compile_program
 from .dag import ChunkDAG, ChunkOp
 from .directives import parallelize
@@ -82,6 +83,8 @@ __all__ = [
     "Collective",
     "Gather",
     "CompileCache",
+    "DiskCacheTier",
+    "reset_default_compile_cache",
     "CompileState",
     "CompiledAlgorithm",
     "CompilerOptions",

@@ -1,4 +1,4 @@
-"""A content-addressed compile cache.
+"""A content-addressed compile cache with memory and disk tiers.
 
 Sweeps, autotuning runs, and benchmark suites compile the *same traced
 program* under the *same options* dozens of times per process (every
@@ -11,6 +11,18 @@ change the produced IR (including the scheduler policy's
 ``policy_key``). Tracers, validation, and dump settings are
 deliberately excluded: they never change the output.
 
+Two tiers:
+
+* **Memory** — an LRU-bounded ``OrderedDict`` in front, always present.
+* **Disk** (:class:`DiskCacheTier`, optional) — content-addressed JSON
+  files under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``),
+  written via atomic renames so concurrent worker processes and repeat
+  CLI invocations never observe a torn entry, and LRU-bounded by total
+  bytes (``REPRO_CACHE_MAX_BYTES``, default 256 MiB). The process-wide
+  :func:`default_compile_cache` carries a disk tier, which is how a
+  second ``repro-tools sweep`` invocation — or a pool of evaluation
+  workers — reuses the first one's compiles.
+
 Hits are served by deserializing the stored IR JSON, so every caller
 gets a private :class:`~repro.core.ir.MscclIr` it may freely mutate —
 a cache hit is byte-identical (XML serialization) to a cold compile
@@ -18,20 +30,30 @@ but can never alias another caller's IR.
 
 Hit/miss counters are kept per cache and surfaced two ways: bumped on
 the compile's tracer (``compile_cache.hits`` / ``compile_cache.misses``
-counters) and exported by :func:`repro.observe.metrics_dict` from the
-process-wide default cache (:func:`default_compile_cache`).
+/ ``compile_cache.disk_hits`` counters) and exported by
+:func:`repro.observe.metrics_dict` from the process-wide default cache
+(:func:`default_compile_cache`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from collections import OrderedDict
+from pathlib import Path
 from typing import Dict, NamedTuple, Optional
 
-from .collectives import Collective
+from .collectives import (AllGather, AllReduce, AllToAll, AllToNext,
+                          Broadcast, Collective, Gather, Reduce,
+                          ReduceScatter, Scatter)
 from .ir import MscclIr
 from .program import MSCCLProgram
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+DEFAULT_DISK_BYTES = 256 * 1024 * 1024
 
 
 class CacheEntry(NamedTuple):
@@ -115,14 +137,221 @@ def options_digest(options) -> str:
     return json.dumps(doc, separators=(",", ":"), sort_keys=True)
 
 
-class CompileCache:
-    """LRU-bounded content-addressed store of compiled IRs."""
+# Collectives a disk entry can round-trip: plain shape parameters fully
+# describe them. Custom collectives carry arbitrary callables, so their
+# entries stay in the memory tier only.
+_SERIALIZABLE_COLLECTIVES = {
+    cls.__name__: cls
+    for cls in (AllReduce, AllGather, ReduceScatter, AllToAll, AllToNext,
+                Broadcast, Reduce, Gather, Scatter)
+}
 
-    def __init__(self, maxsize: int = 256):
+
+def collective_to_doc(collective: Collective) -> Optional[Dict]:
+    """JSON-safe reconstruction parameters, or None if not storable."""
+    cls = _SERIALIZABLE_COLLECTIVES.get(type(collective).__name__)
+    if cls is None or type(collective) is not cls:
+        return None
+    doc = {
+        "kind": type(collective).__name__,
+        "num_ranks": collective.num_ranks,
+        "chunk_factor": collective.chunk_factor,
+        "in_place": collective.in_place,
+        "reduce_op": collective.reduce_op,
+    }
+    root = getattr(collective, "root", None)
+    if root is not None:
+        doc["root"] = root
+    return doc
+
+
+def collective_from_doc(doc: Dict) -> Collective:
+    """Rebuild a collective stored by :func:`collective_to_doc`."""
+    cls = _SERIALIZABLE_COLLECTIVES[doc["kind"]]
+    kwargs = {
+        "num_ranks": doc["num_ranks"],
+        "chunk_factor": doc["chunk_factor"],
+        "in_place": doc["in_place"],
+        "reduce_op": doc["reduce_op"],
+    }
+    if "root" in doc:
+        kwargs["root"] = doc["root"]
+    return cls(**kwargs)
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class DiskCacheTier:
+    """Persistent content-addressed entries shared across processes.
+
+    Every entry is one JSON file named by the SHA-256 of its cache key.
+    Writes go to a temp file in the same directory and land via
+    ``os.replace``, so a reader (or a concurrent writer) never sees a
+    torn entry — the worst outcome of a write race is that the last
+    writer wins with a byte-identical payload. Corrupt or truncated
+    files are treated as misses and deleted best-effort.
+
+    The tier is LRU-bounded by total bytes: lookups bump the entry's
+    mtime, and stores evict oldest-mtime files until the directory fits
+    ``max_bytes`` again (the entry just written is never evicted).
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 max_bytes: Optional[int] = None):
+        if max_bytes is None:
+            env = os.environ.get(CACHE_BYTES_ENV, "").strip()
+            max_bytes = int(env) if env else DEFAULT_DISK_BYTES
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.directory = (Path(directory) if directory is not None
+                          else default_cache_dir())
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def path_for(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()
+        return self.directory / f"{digest}.json"
+
+    def lookup(self, key: str) -> Optional[CacheEntry]:
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            doc = json.loads(text)
+            if doc["key"] != key:
+                raise ValueError("cache key collision or stale entry")
+            entry = CacheEntry(doc["ir_json"],
+                               collective_from_doc(doc["collective"]))
+            # A file can be valid JSON yet hold a damaged IR payload;
+            # parse it now so a bad entry is a miss here, not a crash
+            # in the caller's materialize().
+            MscclIr.from_json(entry.ir_json)
+        except (ValueError, KeyError, TypeError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # LRU bump
+        except OSError:
+            pass
+        return entry
+
+    def store(self, key: str, entry: CacheEntry) -> bool:
+        """Persist one entry; False if its collective cannot round-trip."""
+        doc_collective = collective_to_doc(entry.collective)
+        if doc_collective is None:
+            return False
+        payload = json.dumps({
+            "key": key,
+            "collective": doc_collective,
+            "ir_json": entry.ir_json,
+        }, separators=(",", ":"))
+        path = self.path_for(key)
+        fd, tmp = tempfile.mkstemp(dir=str(self.directory),
+                                   prefix=".write-", suffix=".part")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self._evict(keep=path)
+        return True
+
+    def _evict(self, keep: Path) -> None:
+        entries = []
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with another process's eviction
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort(key=lambda row: row[0])
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entry_count(),
+            "bytes": self.total_bytes(),
+            "dir": str(self.directory),
+        }
+
+
+class CompileCache:
+    """LRU-bounded content-addressed store of compiled IRs.
+
+    ``disk`` attaches a persistent :class:`DiskCacheTier` behind the
+    memory tier: lookups fall through to it on a memory miss (promoting
+    the entry back into memory), stores write through to it. After a
+    lookup, :attr:`last_hit_tier` says which tier served it
+    (``"memory"``, ``"disk"``, or None on a miss).
+    """
+
+    def __init__(self, maxsize: int = 256,
+                 disk: Optional[DiskCacheTier] = None):
         self.maxsize = maxsize
+        self.disk = disk
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.last_hit_tier: Optional[str] = None
 
     def key_for(self, program: MSCCLProgram, options) -> str:
         return program_digest(program) + "/" + options_digest(options)
@@ -130,16 +359,31 @@ class CompileCache:
     def lookup(self, key: str) -> Optional[CacheEntry]:
         """The entry for ``key`` (bumping hit/miss counters)."""
         entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.last_hit_tier = "memory"
+            return entry
+        if self.disk is not None:
+            entry = self.disk.lookup(key)
+            if entry is not None:
+                self._put(key, entry)
+                self.hits += 1
+                self.last_hit_tier = "disk"
+                return entry
+        self.misses += 1
+        self.last_hit_tier = None
+        return None
 
     def store(self, key: str, ir: MscclIr,
               collective: Collective) -> None:
-        self._entries[key] = CacheEntry(ir.to_json(), collective)
+        entry = CacheEntry(ir.to_json(), collective)
+        self._put(key, entry)
+        if self.disk is not None:
+            self.disk.store(key, entry)
+
+    def _put(self, key: str, entry: CacheEntry) -> None:
+        self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -155,21 +399,48 @@ class CompileCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.last_hit_tier = None
 
     def stats(self) -> Dict[str, float]:
         """JSON-safe counters for dashboards and BENCH artifacts."""
         total = self.hits + self.misses
-        return {
+        stats: Dict[str, float] = {
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._entries),
             "hit_rate": round(self.hits / total, 4) if total else 0.0,
         }
+        if self.disk is not None:
+            stats["disk"] = self.disk.stats()
+        return stats
 
 
-_DEFAULT_CACHE = CompileCache()
+_DEFAULT_CACHE: Optional[CompileCache] = None
 
 
 def default_compile_cache() -> CompileCache:
-    """The process-wide cache shared by sweeps, tuning, and benches."""
+    """The process-wide cache shared by sweeps, tuning, and benches.
+
+    Created lazily on first use so ``REPRO_CACHE_DIR`` /
+    ``REPRO_CACHE_MAX_BYTES`` are read at call time, with a persistent
+    disk tier attached; when the cache directory cannot be created
+    (read-only home, sandbox), the cache quietly runs memory-only.
+    """
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        try:
+            disk: Optional[DiskCacheTier] = DiskCacheTier()
+        except (OSError, ValueError):
+            disk = None
+        _DEFAULT_CACHE = CompileCache(disk=disk)
     return _DEFAULT_CACHE
+
+
+def reset_default_compile_cache() -> None:
+    """Drop the process-wide cache so the next use re-reads the env.
+
+    The disk tier's files survive — this models a fresh process (tests
+    use it to exercise the persistent tier without subprocesses).
+    """
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = None

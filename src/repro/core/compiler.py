@@ -167,6 +167,10 @@ def compile_program(program: MSCCLProgram,
         entry = options.cache.lookup(cache_key)
         if entry is not None:
             tracer.add_counter("compile_cache.hits", 1)
+            if getattr(options.cache, "last_hit_tier", None) == "disk":
+                # Served by the persistent tier: another process (or an
+                # earlier run of this CLI) paid the compile.
+                tracer.add_counter("compile_cache.disk_hits", 1)
             ir = options.cache.materialize(entry)
             with tracer.span("compile", cat="compiler",
                              algorithm=program.name,

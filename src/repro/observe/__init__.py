@@ -28,7 +28,8 @@ from .diagnose import (
 )
 from .export import chrome_trace, flame_text, write_chrome_trace
 from .graph import Edge, ExecNode, ExecutionGraph, PathStep, Segment
-from .metrics import compile_cache_stats, metrics_dict, metrics_text
+from .metrics import (compile_cache_stats, metrics_dict, metrics_text,
+                      worker_pool_stats)
 from .tracer import CounterSample, Span, Tracer, maybe_span
 
 __all__ = [
@@ -53,5 +54,6 @@ __all__ = [
     "maybe_span",
     "metrics_dict",
     "metrics_text",
+    "worker_pool_stats",
     "write_chrome_trace",
 ]

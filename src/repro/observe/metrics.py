@@ -16,12 +16,29 @@ from .tracer import Tracer
 def compile_cache_stats() -> Dict[str, float]:
     """Hit/miss counters of the process-wide compile cache.
 
+    Includes the persistent disk tier's hit/miss/eviction counters and
+    footprint under a ``"disk"`` sub-dict when the tier is attached.
+
     Lazy import: ``repro.core`` imports ``repro.observe.tracer``, so
     the cache module cannot be a top-level dependency here.
     """
     from ..core.cache import default_compile_cache
 
     return default_compile_cache().stats()
+
+
+def worker_pool_stats() -> Dict:
+    """Counters from the :mod:`repro.analysis.parallel` worker pools.
+
+    Lazy import for the same layering reason as
+    :func:`compile_cache_stats`; empty when the parallel layer was
+    never used (or is unavailable).
+    """
+    try:
+        from ..analysis.parallel import pool_stats
+    except ImportError:  # pragma: no cover - analysis layer absent
+        return {}
+    return pool_stats()
 
 
 def metrics_dict(tracer: Tracer, result=None) -> Dict:
@@ -49,6 +66,9 @@ def metrics_dict(tracer: Tracer, result=None) -> Dict:
         "spans": spans,
         "compile_cache": compile_cache_stats(),
     }
+    workers = worker_pool_stats()
+    if workers.get("tasks"):
+        metrics["workers"] = workers
     if result is not None:
         elapsed = result.time_us
         links = {}
@@ -94,6 +114,21 @@ def metrics_text(metrics: Dict, top_links: Optional[int] = 8) -> str:
             f"{cache['misses']} miss(es) "
             f"({cache['hit_rate']:.0%} hit rate, "
             f"{cache['entries']} cached)"
+        )
+        disk = cache.get("disk")
+        if disk and (disk.get("hits") or disk.get("misses")):
+            lines.append(
+                f"  disk tier: {disk['hits']} hit(s), "
+                f"{disk['misses']} miss(es), "
+                f"{disk['evictions']} eviction(s), "
+                f"{disk['entries']} file(s) / {disk['bytes']} bytes"
+            )
+    workers = metrics.get("workers")
+    if workers:
+        lines.append(
+            f"worker pool: {workers['tasks']} task(s) over "
+            f"{workers['pools']} pool(s), up to {workers['max_jobs']} "
+            f"job(s), {workers['utilization']:.0%} busy"
         )
     links = metrics.get("links", {})
     if links:

@@ -37,7 +37,10 @@ import argparse
 import sys
 from typing import Optional
 
-from ..analysis.sweep import format_size, size_grid
+from ..analysis.parallel import parallel_map
+from ..analysis.sweep import (chunk_bytes_for, format_size, ir_timer,
+                              run_sweep, size_grid)
+from ..core.cache import default_compile_cache
 from ..core.compiler import CompilerOptions, compile_program
 from ..core.visualize import describe_ir, ir_dot
 from ..nccl.selector import NcclModel
@@ -171,7 +174,7 @@ def _simulate(args) -> int:
     ))
     size = parse_size(args.size)
     result = IrSimulator(algo.ir, topology).run(
-        chunk_bytes=size / algo.sizing_chunks()
+        chunk_bytes=chunk_bytes_for(size, algo.sizing_chunks())
     )
     print(f"{program.name} on {topology!r}")
     print(f"  buffer: {format_size(size)}  latency: "
@@ -239,7 +242,7 @@ def _trace(args) -> int:
     size = parse_size(args.size)
     result = IrSimulator(
         algo.ir, topology, config=SimConfig(tracer=tracer)
-    ).run(chunk_bytes=size / algo.sizing_chunks())
+    ).run(chunk_bytes=chunk_bytes_for(size, algo.sizing_chunks()))
 
     out = args.out or f"{args.algorithm}_trace.json"
     path = write_chrome_trace(out, tracer)
@@ -272,7 +275,7 @@ def _diagnose(args) -> int:
     size = parse_size(args.size)
     result = IrSimulator(
         algo.ir, topology, config=SimConfig(collect_trace=True)
-    ).run(chunk_bytes=size / algo.sizing_chunks())
+    ).run(chunk_bytes=chunk_bytes_for(size, algo.sizing_chunks()))
 
     diag = diagnose(result)
     print(f"{program.name} on {topology!r}: {result.time_us:.1f} us "
@@ -303,11 +306,30 @@ def _diagnose(args) -> int:
     return 0
 
 
+def _conform_worker(payload):
+    """Compile one algorithm and run the conformance harness on it.
+
+    Module-level (and fed plain-data payloads) so the parallel layer
+    can ship it to worker processes; ``repro-tools conform --jobs N``
+    shards the per-algorithm runs this way.
+    """
+    from ..conformance import run_conformance
+
+    name, ns, config = payload
+    view = argparse.Namespace(**ns)
+    program = ALGORITHMS[name](view)
+    algo = compile_program(program, CompilerOptions(
+        max_threadblocks=config.topology.machine.sm_count,
+        cache=default_compile_cache(),
+    ))
+    return run_conformance(algo, config)
+
+
 def _conform(args) -> int:
     import json as _json
     from pathlib import Path as _Path
 
-    from ..conformance import ConformanceConfig, run_conformance
+    from ..conformance import ConformanceConfig
 
     names = (sorted(ALGORITHMS) if args.algorithm == "all"
              else [args.algorithm])
@@ -324,15 +346,16 @@ def _conform(args) -> int:
         inject_faults=not args.no_faults,
         topology=topology,
     )
+    ns = {key: vars(args)[key]
+          for key in ("ranks", "nodes", "channels", "instances",
+                      "protocol", "topology")}
+    payloads = [(name, {**ns, "algorithm": name}, config)
+                for name in names]
+    results = parallel_map(_conform_worker, payloads, jobs=args.jobs,
+                           label="conform")
     reports = []
     failures = 0
-    for name in names:
-        view = argparse.Namespace(**{**vars(args), "algorithm": name})
-        program = ALGORITHMS[name](view)
-        algo = compile_program(program, CompilerOptions(
-            max_threadblocks=topology.machine.sm_count
-        ))
-        report = run_conformance(algo, config)
+    for name, report in zip(names, results):
         reports.append((name, report))
         print(report.text())
         if not report.ok:
@@ -367,31 +390,52 @@ def _report(args) -> int:
             Path(__file__).resolve().parents[3]
             / "benchmarks" / "results"
         )
-    print(build_report(results_dir, include_audit=not args.no_audit))
+    print(build_report(results_dir, include_audit=not args.no_audit,
+                       jobs=args.jobs))
     return 0
 
 
 def _sweep(args) -> int:
     topology = build_topology(args)
     program = build_algorithm(args)
-    ir = compile_program(program, CompilerOptions(
-        max_threadblocks=topology.machine.sm_count
+    tracer = Tracer()
+    algo = compile_program(program, CompilerOptions(
+        max_threadblocks=topology.machine.sm_count,
+        cache=default_compile_cache(), trace=tracer,
     ))
-    chunks = program.collective.sizing_chunks()
-    simulator = IrSimulator(ir, topology)
+    sizes = size_grid(parse_size(args.min_size),
+                      parse_size(args.max_size))
+    timer = ir_timer(algo, topology, program.collective)
+    result = run_sweep(program.name, sizes, {program.name: timer},
+                       jobs=args.jobs, tracer=tracer)
+    times = result.series[program.name].times_us
     nccl = NcclModel(topology) if args.vs_nccl else None
     header = f"{'size':>8s} {'us':>12s}"
     if nccl:
         header += f" {'nccl us':>12s} {'speedup':>8s}"
     print(header)
-    for size in size_grid(parse_size(args.min_size),
-                          parse_size(args.max_size)):
-        elapsed = simulator.run(chunk_bytes=size / chunks).time_us
+    for size, elapsed in zip(sizes, times):
         row = f"{format_size(size):>8s} {elapsed:>12.1f}"
         if nccl:
             base = nccl.allreduce_time(size).time_us
             row += f" {base:>12.1f} {base / elapsed:>7.2f}x"
         print(row)
+
+    metrics = metrics_dict(tracer)
+    cache = metrics["compile_cache"]
+    line = (f"# compile cache: {cache['hits']} hit(s), "
+            f"{cache['misses']} miss(es)")
+    disk = cache.get("disk")
+    if disk:
+        line += (f"; disk tier: {disk['hits']} hit(s), "
+                 f"{disk['entries']} file(s)")
+    print(line, file=sys.stderr)
+    workers = metrics.get("workers")
+    if workers:
+        print(f"# workers: {workers['parallel_tasks']} of "
+              f"{workers['tasks']} task(s) in {workers['max_jobs']} "
+              f"job(s), {workers['utilization']:.0%} busy",
+              file=sys.stderr)
     return 0
 
 
@@ -527,6 +571,11 @@ def main(argv: Optional[list] = None) -> int:
         help="write <algorithm>.witness.json here for every failing "
              "algorithm (CI artifact upload)",
     )
+    conform_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for per-algorithm runs "
+             "(default: $REPRO_JOBS or 1)",
+    )
     conform_parser.set_defaults(func=_conform)
 
     report_parser = sub.add_parser(
@@ -537,6 +586,11 @@ def main(argv: Optional[list] = None) -> int:
         help="results directory (default: benchmarks/results)",
     )
     report_parser.add_argument("--no-audit", action="store_true")
+    report_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the efficiency audit "
+             "(default: $REPRO_JOBS or 1)",
+    )
     report_parser.set_defaults(func=_report)
 
     sweep_parser = sub.add_parser("sweep", help="time a size grid")
@@ -545,6 +599,11 @@ def main(argv: Optional[list] = None) -> int:
     sweep_parser.add_argument("--max-size", default="64MB")
     sweep_parser.add_argument("--vs-nccl", action="store_true",
                               help="compare against the NCCL AllReduce")
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the size grid "
+             "(default: $REPRO_JOBS or 1)",
+    )
     sweep_parser.set_defaults(func=_sweep)
 
     args = parser.parse_args(argv)

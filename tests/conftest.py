@@ -2,7 +2,19 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import pytest
+
+# Isolate the persistent compile-cache tier: tests must never read or
+# pollute the developer's ~/.cache/repro. The default cache is created
+# lazily (first default_compile_cache() call), so setting the env var
+# at conftest import is early enough. setdefault keeps an explicit
+# REPRO_CACHE_DIR (e.g. a CI warm-cache job) in charge.
+os.environ.setdefault(
+    "REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-test-cache-")
+)
 
 from repro.core import (
     AllReduce,

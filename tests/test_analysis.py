@@ -10,6 +10,7 @@ from repro.analysis import (
     SweepResult,
     WorkloadModel,
     CollectiveCall,
+    chunk_bytes_for,
     format_size,
     inference_serving_step,
     ir_timer,
@@ -31,11 +32,51 @@ class TestSizeGrid:
     def test_powers_of_two(self):
         assert size_grid(KiB, 8 * KiB) == [KiB, 2 * KiB, 4 * KiB, 8 * KiB]
 
+    def test_inverted_bounds_name_both_ends(self):
+        with pytest.raises(ValueError) as err:
+            size_grid(8 * KiB, KiB)
+        message = str(err.value)
+        assert str(8 * KiB) in message and str(KiB) in message
+
+    def test_nonpositive_start_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            size_grid(0, KiB)
+        with pytest.raises(ValueError, match="positive"):
+            size_grid(-KiB, KiB)
+
     def test_format_size(self):
         assert format_size(KiB) == "1KB"
         assert format_size(512 * KiB) == "512KB"
         assert format_size(3 * MiB) == "3MB"
         assert format_size(2 * GiB) == "2GB"
+
+    def test_format_size_bytes_branch(self):
+        assert format_size(512) == "512B"
+        assert format_size(1) == "1B"
+        assert format_size(0) == "0B"
+
+    def test_format_size_unit_boundaries(self):
+        assert format_size(KiB - 1) == "1023B"
+        assert format_size(MiB - KiB) == "1023KB"
+        assert format_size(MiB) == "1MB"
+        assert format_size(GiB - MiB) == "1023MB"
+        assert format_size(GiB) == "1GB"
+
+
+class TestChunkBytesFor:
+    def test_exact_division(self):
+        assert chunk_bytes_for(1024, 8) == 128
+
+    def test_rounds_up_not_down(self):
+        # 970 bytes over 8 chunks: the runtime moves 8x122, never
+        # fractional 121.25-byte chunks.
+        assert chunk_bytes_for(970, 8) == 122
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            chunk_bytes_for(1024, 0)
+        with pytest.raises(ValueError):
+            chunk_bytes_for(-1.0, 4)
 
 
 class TestSweep:
@@ -182,6 +223,17 @@ class TestEndToEndModel:
         full = model.step_time_us(self._timers(1.0))
         overlapped = model.step_time_us(self._timers(1.0), overlap=0.5)
         assert overlapped < full
+
+    def test_overlap_out_of_range_rejected(self):
+        model = WorkloadModel("w", compute_us=1000, calls=[])
+        with pytest.raises(ValueError):
+            model.step_time_us({}, overlap=1.0)
+        with pytest.raises(ValueError):
+            model.step_time_us({}, overlap=-0.1)
+
+    def test_degenerate_model_has_zero_comm_fraction(self):
+        model = WorkloadModel("w", compute_us=0.0, calls=[])
+        assert model.communication_fraction({}) == 0.0
 
     def test_prebuilt_workloads(self):
         moe = moe_training_step(16)

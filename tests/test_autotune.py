@@ -64,6 +64,20 @@ class TestTune:
         assert len(outcome.skipped) == 1
         assert "thread blocks" in outcome.skipped[0][1]
 
+    def test_non_divisible_size_regression(self):
+        """Sizes that don't divide by sizing_chunks go through the
+        shared ceil-division helper, so tune and a standalone timer
+        agree exactly (they used to disagree via float division)."""
+        from repro.analysis import IrTimer
+
+        space = [Candidate(1, 2, "LL")]
+        size = 1000  # 1000 / 8 chunks is not integral
+        outcome = tune(ring_builder, ndv4(1), [size],
+                       collective_sizing_chunks=8, space=space)
+        (candidate,) = outcome.candidates
+        timer = IrTimer(outcome._compiled[candidate], ndv4(1), 8)
+        assert outcome.times[(candidate, size)] == timer(size)
+
     def test_empty_space_rejected(self):
         with pytest.raises(ValueError):
             tune(ring_builder, ndv4(1), [KiB],

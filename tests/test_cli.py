@@ -93,6 +93,40 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "speedup" in out and "x" in out
 
+    def test_jobs_flag_matches_sequential(self, capsys):
+        args = [
+            "sweep", "ring_allreduce", "--ranks", "4",
+            "--min-size", "1KB", "--max-size", "4KB",
+        ]
+        main(args + ["--jobs", "1"])
+        sequential = capsys.readouterr().out
+        main(args + ["--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
+
+    def test_repeat_invocation_hits_persistent_cache(self, capsys):
+        from repro.core import reset_default_compile_cache
+        from repro.core.cache import default_compile_cache
+
+        args = [
+            "sweep", "ring_allreduce", "--ranks", "4",
+            "--min-size", "1KB", "--max-size", "2KB",
+        ]
+        reset_default_compile_cache()
+        try:
+            main(args)
+            capsys.readouterr()
+            # A fresh default cache models a second CLI invocation of
+            # the same process image: only the disk tier persists.
+            reset_default_compile_cache()
+            main(args)
+            captured = capsys.readouterr()
+            stats = default_compile_cache().stats()
+            assert stats["disk"]["hits"] > 0
+            assert "disk tier: 1 hit(s)" in captured.err
+        finally:
+            reset_default_compile_cache()
+
 
 class TestAllCliAlgorithms:
     """Every registered CLI algorithm compiles and passes the data check
