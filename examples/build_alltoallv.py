@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Authoring an alltoallv at the thread-block level with repro.build.
+
+The chunk DSL assumes every rank moves the same amount of data, so a
+variable-count alltoall — rank ``src`` sends ``counts[src][dst]``
+chunks to rank ``dst`` — cannot be traced through it. The step-level
+builder API writes the MSCCL-IR directly instead: one thread block per
+peer connection, explicit send/recv steps sized from the count matrix,
+and the same validation the compile pipeline runs (deadlock/payload
+audit plus postcondition verification against AllToAllV).
+
+The resulting IR is interchangeable with imported XML: this script
+round-trips it through the exporter/importer and cross-checks both
+copies in the data-level executor and the timing simulator.
+
+Run:  python examples/build_alltoallv.py
+"""
+
+from repro.build import IrBuilder
+from repro.core import AllToAllV, import_xml
+from repro.runtime import IrExecutor, IrSimulator
+from repro.topology import generic
+
+# counts[src][dst]: deliberately skewed so every buffer has a
+# different size and no uniform-chunk assumption survives.
+COUNTS = [
+    [1, 2, 1, 3],
+    [2, 1, 4, 1],
+    [1, 1, 1, 1],
+    [3, 2, 1, 2],
+]
+
+
+def build_alltoallv(counts) -> "IrBuilder":
+    coll = AllToAllV(counts)
+    builder = IrBuilder("alltoallv_builder", coll)
+    for rank in range(coll.num_ranks):
+        gpu = builder.gpu(rank)  # buffer sizes come from the collective
+        local = gpu.threadblock()
+        local.copy("input", coll.send_offset(rank, rank),
+                   "output", coll.recv_offset(rank, rank),
+                   counts[rank][rank])
+        for peer in range(coll.num_ranks):
+            if peer == rank:
+                continue
+            tb = gpu.threadblock(send=peer, recv=peer)
+            if counts[rank][peer]:
+                tb.send("input", coll.send_offset(rank, peer),
+                        counts[rank][peer])
+            if counts[peer][rank]:
+                tb.recv("output", coll.recv_offset(peer, rank),
+                        counts[peer][rank])
+    return builder
+
+
+def main() -> None:
+    builder = build_alltoallv(COUNTS)
+    coll = builder.collective
+
+    # build() audits the IR and verifies its traced semantics against
+    # the AllToAllV postcondition; check() additionally runs it on
+    # data in the executor.
+    ir = builder.check()
+    print(f"{ir.name}: verified; {ir.instruction_count()} instructions, "
+          f"{ir.threadblock_count()} thread blocks")
+
+    # The builder output and its XML round-trip are the same program.
+    imported = import_xml(ir.to_xml())
+    assert imported.to_dict() == ir.to_dict()
+    IrExecutor(imported, coll).run_and_check()
+    print("XML round-trip: identical IR, executor check passed")
+
+    topology = generic(coll.num_ranks)
+    for label, program in (("built", ir), ("imported", imported)):
+        result = IrSimulator(program, topology).run(chunk_bytes=1 << 17)
+        print(f"{label:>8s}: {result.time_us:.1f} us for "
+              f"{coll.sizing_chunks()} chunks of 128KB")
+
+    print("\nEvery rank moved a different amount of data — the "
+          "variable-size path holds end to end.")
+
+
+if __name__ == "__main__":
+    main()

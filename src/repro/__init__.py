@@ -26,7 +26,7 @@ End-to-end tracing (compiler passes + simulated instructions) lives in
 trace``.
 """
 
-from . import (algorithms, analysis, baselines, core, nccl, observe,
+from . import (algorithms, analysis, baselines, build, core, nccl, observe,
                runtime, synth, topology)
 
 __version__ = "1.1.0"
@@ -35,6 +35,7 @@ __all__ = [
     "algorithms",
     "analysis",
     "baselines",
+    "build",
     "core",
     "nccl",
     "observe",

@@ -1,0 +1,18 @@
+"""Step-level IR construction (see :mod:`repro.build.builder`).
+
+The builder API authors MSCCL-IR directly — explicit thread blocks,
+steps, channels, and cross-thread-block dependencies — bypassing the
+chunk DSL while keeping the pipeline's validation (``audit_ir`` plus
+postcondition verification when a collective is attached). It is the
+programmatic twin of the reference XML dialect accepted by
+:mod:`repro.core.interop`.
+"""
+
+from .builder import GpuBuilder, IrBuilder, StepRef, ThreadBlockBuilder
+
+__all__ = [
+    "GpuBuilder",
+    "IrBuilder",
+    "StepRef",
+    "ThreadBlockBuilder",
+]

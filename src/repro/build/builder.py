@@ -1,0 +1,529 @@
+"""Step-level IR construction, bypassing the DSL and compiler.
+
+The DSL is the right tool when an algorithm is naturally expressed as
+chunk routing, but interop work — porting a hand-written MSCCL XML
+algorithm, prototyping a schedule the compiler would not emit, writing
+a variable-size collective like alltoallv — wants direct control over
+thread blocks, steps, channels, and dependencies. :class:`IrBuilder`
+provides exactly the reference XML's level of abstraction as a fluent
+Python API:
+
+    from repro.build import IrBuilder
+    from repro.core import AllToAllV
+
+    b = IrBuilder("my_alltoallv", collective=AllToAllV(counts))
+    g0 = b.gpu(0)
+    tb = g0.threadblock(send=1, recv=2, chan=0)
+    first = tb.send("input", 0, 2)
+    tb.recv("output", 3, 1, depends=[first])
+    ir = b.build()          # audited, postcondition-verified IR
+
+Every op method appends one :class:`~repro.core.IrInstruction` to its
+thread block and returns a :class:`StepRef` usable in later ``depends``
+lists (also accepted: plain ``(tb_id, step)`` tuples). ``build()``
+fills in the metadata the compiler would normally compute — receive
+sequence tags in program order per connection, ``has_dep`` flags from
+the dependency targets, deduced scratch sizes — then runs the same
+validation the compile pipeline runs: the deadlock/payload audit
+(:func:`~repro.core.audit_ir`) and, when a real collective is
+attached, postcondition verification of the program's traced chunk
+semantics. Structural misuse raises
+:class:`~repro.core.errors.BuildError` naming the offending step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from ..core.buffers import Buffer, as_buffer
+from ..core.collectives import Collective
+from ..core.errors import BuildError, ProgramError, VerificationError
+from ..core.instructions import Op, RECEIVING_OPS, SENDING_OPS
+from ..core.interop import trace_ir
+from ..core.ir import GpuProgram, IrInstruction, MscclIr, ThreadBlock
+from ..core.verification import audit_ir
+
+
+class StepRef(NamedTuple):
+    """A (thread block, step) handle usable in ``depends`` lists."""
+
+    tb_id: int
+    step: int
+
+
+DependsArg = Sequence[Union[StepRef, Tuple[int, int]]]
+
+
+def _normalize_depends(depends: Optional[DependsArg],
+                       where: str) -> List[Tuple[int, int]]:
+    result: List[Tuple[int, int]] = []
+    for dep in depends or ():
+        try:
+            tb_id, step = dep
+            result.append((int(tb_id), int(step)))
+        except (TypeError, ValueError):
+            raise BuildError(
+                f"{where}: depends entries must be StepRef or "
+                f"(tb_id, step) tuples, got {dep!r}"
+            ) from None
+    return result
+
+
+class ThreadBlockBuilder:
+    """One thread block under construction: ordered steps, two peers."""
+
+    def __init__(self, gpu: "GpuBuilder", tb_id: int,
+                 send: Optional[int], recv: Optional[int], chan: int):
+        self.gpu = gpu
+        self.tb_id = tb_id
+        self.send_peer = send
+        self.recv_peer = recv
+        self.channel = chan
+        self.instructions: List[IrInstruction] = []
+
+    # -- op plumbing ---------------------------------------------------
+    def _where(self) -> str:
+        return (f"gpu {self.gpu.rank} tb {self.tb_id} step "
+                f"{len(self.instructions)}")
+
+    def _span(self, buffer, offset: int, count: int,
+              label: str) -> Tuple[Buffer, int, int]:
+        where = self._where()
+        try:
+            buf = as_buffer(buffer)
+        except ProgramError as exc:
+            raise BuildError(f"{where}: {label} buffer: {exc}") from None
+        if offset < 0 or count < 1:
+            raise BuildError(
+                f"{where}: {label} span {buf.value}[{offset}:"
+                f"{offset + count}] needs a non-negative offset and a "
+                "positive count"
+            )
+        return (buf, int(offset), int(count))
+
+    def _append(self, op: Op, src, dst,
+                depends: Optional[DependsArg],
+                seq: Optional[int]) -> StepRef:
+        where = self._where()
+        if op in SENDING_OPS and self.send_peer is None:
+            raise BuildError(
+                f"{where}: op {op.value!r} sends, but this thread block "
+                "declares no send peer (pass send=<rank> to "
+                "threadblock())"
+            )
+        if op in RECEIVING_OPS and self.recv_peer is None:
+            raise BuildError(
+                f"{where}: op {op.value!r} receives, but this thread "
+                "block declares no recv peer (pass recv=<rank> to "
+                "threadblock())"
+            )
+        if seq is not None and op not in RECEIVING_OPS:
+            raise BuildError(
+                f"{where}: seq= only applies to receiving ops, not "
+                f"{op.value!r}"
+            )
+        counts = [span[2] for span in (src, dst) if span is not None]
+        instr = IrInstruction(
+            step=len(self.instructions),
+            op=op,
+            src=src,
+            dst=dst,
+            count=max(counts) if counts else 1,
+            depends=_normalize_depends(depends, where),
+            recv_seq=seq,
+        )
+        self.instructions.append(instr)
+        return StepRef(self.tb_id, instr.step)
+
+    # -- the op set ----------------------------------------------------
+    def send(self, buffer, offset: int, count: int = 1, *,
+             depends: Optional[DependsArg] = None) -> StepRef:
+        """Send ``count`` chunks of a local span to the send peer."""
+        return self._append(
+            Op.SEND, self._span(buffer, offset, count, "src"), None,
+            depends, None)
+
+    def recv(self, buffer, offset: int, count: int = 1, *,
+             depends: Optional[DependsArg] = None,
+             seq: Optional[int] = None) -> StepRef:
+        """Receive ``count`` chunks from the recv peer into a span."""
+        return self._append(
+            Op.RECV, None, self._span(buffer, offset, count, "dst"),
+            depends, seq)
+
+    def copy(self, src_buffer, src_offset: int, dst_buffer,
+             dst_offset: int, count: int = 1, *,
+             depends: Optional[DependsArg] = None) -> StepRef:
+        """Local copy of ``count`` chunks."""
+        return self._append(
+            Op.COPY,
+            self._span(src_buffer, src_offset, count, "src"),
+            self._span(dst_buffer, dst_offset, count, "dst"),
+            depends, None)
+
+    def reduce(self, src_buffer, src_offset: int, dst_buffer,
+               dst_offset: int, count: int = 1, *,
+               depends: Optional[DependsArg] = None) -> StepRef:
+        """Local reduce: dst = dst (+) src."""
+        return self._append(
+            Op.REDUCE,
+            self._span(src_buffer, src_offset, count, "src"),
+            self._span(dst_buffer, dst_offset, count, "dst"),
+            depends, None)
+
+    def recv_reduce_copy(self, src_buffer, src_offset: int, dst_buffer,
+                         dst_offset: int, count: int = 1, *,
+                         depends: Optional[DependsArg] = None,
+                         seq: Optional[int] = None) -> StepRef:
+        """rrc: dst = src (+) incoming message."""
+        return self._append(
+            Op.RECV_REDUCE_COPY,
+            self._span(src_buffer, src_offset, count, "src"),
+            self._span(dst_buffer, dst_offset, count, "dst"),
+            depends, seq)
+
+    def recv_copy_send(self, buffer, offset: int, count: int = 1, *,
+                       depends: Optional[DependsArg] = None,
+                       seq: Optional[int] = None) -> StepRef:
+        """rcs: store the incoming message locally and forward it."""
+        return self._append(
+            Op.RECV_COPY_SEND, None,
+            self._span(buffer, offset, count, "dst"),
+            depends, seq)
+
+    def recv_reduce_copy_send(self, src_buffer, src_offset: int,
+                              dst_buffer, dst_offset: int,
+                              count: int = 1, *,
+                              depends: Optional[DependsArg] = None,
+                              seq: Optional[int] = None) -> StepRef:
+        """rrcs: dst = src (+) incoming, and forward the result."""
+        return self._append(
+            Op.RECV_REDUCE_COPY_SEND,
+            self._span(src_buffer, src_offset, count, "src"),
+            self._span(dst_buffer, dst_offset, count, "dst"),
+            depends, seq)
+
+    def recv_reduce_send(self, buffer, offset: int, count: int = 1, *,
+                         depends: Optional[DependsArg] = None,
+                         seq: Optional[int] = None) -> StepRef:
+        """rrs: forward src (+) incoming without a local store."""
+        return self._append(
+            Op.RECV_REDUCE_SEND,
+            self._span(buffer, offset, count, "src"), None,
+            depends, seq)
+
+    def nop(self, *, depends: Optional[DependsArg] = None) -> StepRef:
+        """A synchronization-only step carrying dependencies."""
+        return self._append(Op.NOP, None, None, depends, None)
+
+    # Short aliases matching the XML op codes.
+    rrc = recv_reduce_copy
+    rcs = recv_copy_send
+    rrcs = recv_reduce_copy_send
+    rrs = recv_reduce_send
+
+
+class GpuBuilder:
+    """One rank's program under construction."""
+
+    def __init__(self, builder: "IrBuilder", rank: int,
+                 input_chunks: int, output_chunks: int,
+                 scratch_chunks: int):
+        self.builder = builder
+        self.rank = rank
+        self.input_chunks = input_chunks
+        self.output_chunks = output_chunks
+        self.scratch_chunks = scratch_chunks
+        self.threadblocks: List[ThreadBlockBuilder] = []
+        self._connections: Dict[Tuple[str, int, int], int] = {}
+
+    def threadblock(self, *, send: Optional[int] = None,
+                    recv: Optional[int] = None,
+                    chan: int = 0) -> ThreadBlockBuilder:
+        """Add a thread block with at most one send and one recv peer.
+
+        Each directed (peer, channel) connection may belong to only one
+        thread block per gpu — the same constraint the scheduler and
+        the MSCCL runtime enforce, since sharing one would make FIFO
+        message ordering ambiguous.
+        """
+        tb_id = len(self.threadblocks)
+        for kind, peer in (("send", send), ("recv", recv)):
+            if peer is None:
+                continue
+            if not 0 <= peer < self.builder.num_ranks:
+                raise BuildError(
+                    f"gpu {self.rank} tb {tb_id}: {kind} peer {peer} is "
+                    f"out of range for {self.builder.num_ranks} ranks"
+                )
+            if peer == self.rank:
+                raise BuildError(
+                    f"gpu {self.rank} tb {tb_id}: {kind} peer cannot be "
+                    "the thread block's own rank"
+                )
+            key = (kind, peer, chan)
+            other = self._connections.get(key)
+            if other is not None:
+                raise BuildError(
+                    f"gpu {self.rank} tb {tb_id}: {kind} connection to "
+                    f"rank {peer} on channel {chan} already belongs to "
+                    f"tb {other}; use a different channel"
+                )
+            self._connections[key] = tb_id
+        tb = ThreadBlockBuilder(self, tb_id, send, recv, chan)
+        self.threadblocks.append(tb)
+        return tb
+
+
+class IrBuilder:
+    """Construct MSCCL-IR at the step/thread-block level.
+
+    ``collective`` may be a real :class:`~repro.core.Collective` (then
+    per-rank buffer sizes default to its shapes, and ``build()``
+    verifies the program's traced semantics against its postcondition)
+    or ``None`` with an explicit ``num_ranks`` for free-form IRs.
+    """
+
+    def __init__(self, name: str,
+                 collective: Optional[Collective] = None, *,
+                 num_ranks: Optional[int] = None,
+                 protocol: str = "Simple"):
+        if collective is None and num_ranks is None:
+            raise BuildError(
+                "IrBuilder needs either a collective or num_ranks"
+            )
+        if collective is not None and num_ranks is not None \
+                and collective.num_ranks != num_ranks:
+            raise BuildError(
+                f"num_ranks={num_ranks} contradicts the collective's "
+                f"{collective.num_ranks} ranks"
+            )
+        self.name = name
+        self.collective = collective
+        self.num_ranks = (collective.num_ranks if collective is not None
+                          else num_ranks)
+        self.protocol = protocol
+        self.in_place = bool(collective.in_place) if collective else False
+        self._gpus: Dict[int, GpuBuilder] = {}
+
+    def gpu(self, rank: int, *, input_chunks: Optional[int] = None,
+            output_chunks: Optional[int] = None,
+            scratch_chunks: int = 0) -> GpuBuilder:
+        """Declare rank ``rank``'s program (sizes default from the
+        collective; scratch grows automatically to cover use)."""
+        if not 0 <= rank < self.num_ranks:
+            raise BuildError(
+                f"gpu rank {rank} out of range for {self.num_ranks} ranks"
+            )
+        if rank in self._gpus:
+            raise BuildError(f"gpu {rank} declared twice")
+        if input_chunks is None:
+            if self.collective is None:
+                raise BuildError(
+                    f"gpu {rank}: input_chunks is required without a "
+                    "collective"
+                )
+            input_chunks = (0 if self.in_place
+                            else self.collective.input_chunks(rank))
+        if output_chunks is None:
+            if self.collective is None:
+                raise BuildError(
+                    f"gpu {rank}: output_chunks is required without a "
+                    "collective"
+                )
+            output_chunks = self.collective.output_chunks(rank)
+        gpu = GpuBuilder(self, rank, input_chunks, output_chunks,
+                         scratch_chunks)
+        self._gpus[rank] = gpu
+        return gpu
+
+    # -- assembly ------------------------------------------------------
+    def build(self, *, validate: bool = True,
+              num_slots: int = 8) -> MscclIr:
+        """Assemble, fill in runtime metadata, and validate the IR.
+
+        Computes receive sequence tags (program order per connection),
+        ``has_dep`` flags, and deduced scratch sizes; with
+        ``validate=True`` also runs the pipeline's deadlock/payload
+        audit and — when a real collective is attached — verifies the
+        traced chunk semantics against its postcondition.
+        """
+        missing = sorted(set(range(self.num_ranks)) - set(self._gpus))
+        if missing:
+            raise BuildError(
+                f"cannot build '{self.name}': gpu(s) {missing} were "
+                "never declared"
+            )
+        ir = MscclIr(
+            name=self.name,
+            collective=(self.collective.name if self.collective
+                        else "custom"),
+            protocol=self.protocol,
+            num_ranks=self.num_ranks,
+            in_place=self.in_place,
+        )
+        for rank in range(self.num_ranks):
+            gb = self._gpus[rank]
+            gpu = GpuProgram(
+                rank=rank,
+                input_chunks=gb.input_chunks,
+                output_chunks=gb.output_chunks,
+                scratch_chunks=gb.scratch_chunks,
+            )
+            for tbb in gb.threadblocks:
+                tb = ThreadBlock(
+                    tb_id=tbb.tb_id,
+                    send_peer=tbb.send_peer,
+                    recv_peer=tbb.recv_peer,
+                    channel=tbb.channel,
+                    instructions=[
+                        IrInstruction(
+                            step=i.step, op=i.op, src=i.src, dst=i.dst,
+                            count=i.count, frac_lo=i.frac_lo,
+                            frac_hi=i.frac_hi,
+                            depends=list(i.depends),
+                            recv_seq=i.recv_seq,
+                            lineage=i.lineage,
+                        )
+                        for i in tbb.instructions
+                    ],
+                )
+                gpu.threadblocks.append(tb)
+            ir.gpus.append(gpu)
+
+        self._grow_scratch(ir)
+        self._validate_structure(ir)
+        self._assign_recv_seqs(ir)
+        self._assign_has_dep(ir)
+        if validate:
+            audit_ir(ir, num_slots=num_slots)
+            if self.collective is not None:
+                self._verify_postcondition(ir)
+        return ir
+
+    def check(self, elements_per_chunk: int = 48, *,
+              num_slots: int = 8, **run_kwargs) -> MscclIr:
+        """``build()`` plus a data-level executor run-and-check.
+
+        Requires a real collective (the executor needs its pre/post
+        conditions). Returns the validated IR.
+        """
+        if self.collective is None:
+            raise BuildError(
+                "check() needs a collective for data-level validation; "
+                "build() the IR instead"
+            )
+        ir = self.build(num_slots=num_slots)
+        from ..runtime.executor import IrExecutor
+        IrExecutor(ir, self.collective,
+                   elements_per_chunk=elements_per_chunk
+                   ).run_and_check(**run_kwargs)
+        return ir
+
+    # -- metadata reconstruction ---------------------------------------
+    @staticmethod
+    def _grow_scratch(ir: MscclIr) -> None:
+        for gpu in ir.gpus:
+            high = gpu.scratch_chunks
+            for tb in gpu.threadblocks:
+                for instr in tb.instructions:
+                    for span in (instr.src, instr.dst):
+                        if span is not None and span[0] is Buffer.SCRATCH:
+                            high = max(high, span[1] + span[2])
+            gpu.scratch_chunks = high
+
+    def _validate_structure(self, ir: MscclIr) -> None:
+        for gpu in ir.gpus:
+            steps = {
+                (tb.tb_id, instr.step)
+                for tb in gpu.threadblocks
+                for instr in tb.instructions
+            }
+            for tb in gpu.threadblocks:
+                for instr in tb.instructions:
+                    where = (f"gpu {gpu.rank} tb {tb.tb_id} step "
+                             f"{instr.step}")
+                    for label, span in (("src", instr.src),
+                                        ("dst", instr.dst)):
+                        if span is None:
+                            continue
+                        buf, index, cnt = span
+                        declared = gpu.buffer_chunks(buf)
+                        if index + cnt > declared:
+                            raise BuildError(
+                                f"{where}: {label} span "
+                                f"{buf.value}[{index}:{index + cnt}] "
+                                f"exceeds the declared {buf.value} size "
+                                f"of {declared} chunk(s)"
+                            )
+                    for dep in instr.depends:
+                        if tuple(dep) not in steps:
+                            raise BuildError(
+                                f"{where}: depends on (tb {dep[0]}, "
+                                f"step {dep[1]}), which does not exist "
+                                f"on gpu {gpu.rank}"
+                            )
+                        if dep[0] == tb.tb_id:
+                            raise BuildError(
+                                f"{where}: depends on its own thread "
+                                "block; same-thread-block ordering is "
+                                "implicit in program order"
+                            )
+
+    @staticmethod
+    def _assign_recv_seqs(ir: MscclIr) -> None:
+        by_conn: Dict[Tuple[int, int, int], List[IrInstruction]] = {}
+        for gpu in ir.gpus:
+            for tb in gpu.threadblocks:
+                for instr in tb.instructions:
+                    if instr.op in RECEIVING_OPS:
+                        conn = (tb.recv_peer, gpu.rank, tb.channel)
+                        by_conn.setdefault(conn, []).append(instr)
+        for conn, instrs in by_conn.items():
+            tagged = [i for i in instrs if i.recv_seq is not None]
+            if len(tagged) == len(instrs):
+                continue
+            if tagged:
+                src, dst, ch = conn
+                raise BuildError(
+                    f"connection {src}->{dst} ch{ch} mixes explicit "
+                    "seq= receives with untagged ones; tag all or none"
+                )
+            for seq, instr in enumerate(instrs):
+                instr.recv_seq = seq
+
+    @staticmethod
+    def _assign_has_dep(ir: MscclIr) -> None:
+        for gpu in ir.gpus:
+            targets = {
+                tuple(dep)
+                for tb in gpu.threadblocks
+                for instr in tb.instructions
+                for dep in instr.depends
+            }
+            for tb in gpu.threadblocks:
+                for instr in tb.instructions:
+                    instr.has_dep = (tb.tb_id, instr.step) in targets
+
+    def _verify_postcondition(self, ir: MscclIr) -> None:
+        """The IR-level equivalent of the pipeline's check_postcondition."""
+        outputs = trace_ir(ir, self.collective)
+        failures: List[str] = []
+        for rank in range(self.collective.num_ranks):
+            expected = self.collective.postcondition(rank)
+            actual = outputs.get(rank, {})
+            for index, want in sorted(expected.items()):
+                got = actual.get(index)
+                if got != want:
+                    failures.append(
+                        f"rank {rank} output[{index}]: expected "
+                        f"{want!r}, got {got!r}"
+                    )
+        if failures:
+            preview = "\n  ".join(failures[:10])
+            more = (f"\n  ... and {len(failures) - 10} more"
+                    if len(failures) > 10 else "")
+            raise VerificationError(
+                f"program '{self.name}' does not implement "
+                f"{self.collective.name}:\n  {preview}{more}"
+            )

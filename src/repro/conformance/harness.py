@@ -148,18 +148,20 @@ def run_conformance(algo, config: Optional[ConformanceConfig] = None, *,
 
     ``algo`` is a :class:`~repro.core.CompiledAlgorithm` (or anything
     with ``.ir``/``.collective``; a raw :class:`MscclIr` works when
-    ``collective`` is passed explicitly).
+    ``collective`` is passed explicitly). When neither supplies a real
+    :class:`~repro.core.Collective` — a raw IR's ``.collective`` is
+    just a name string, the usual case for imported XML — one is
+    resolved via :func:`repro.core.interop.resolve_collective`: a
+    standard collective reconstructed from the name when possible,
+    otherwise the IR's traced program-order semantics, which is exactly
+    the oracle the differential checks below need.
     """
     ir = getattr(algo, "ir", algo)
     coll = collective if collective is not None \
         else getattr(algo, "collective", None)
     if coll is None or isinstance(coll, str):
-        # A raw MscclIr's .collective is just the name string; the
-        # executor needs the real Collective object for pre/post data.
-        raise ValueError(
-            "run_conformance needs the collective: pass a "
-            "CompiledAlgorithm or supply collective=..."
-        )
+        from ..core.interop import resolve_collective
+        coll = resolve_collective(ir)
     cfg = config or ConformanceConfig()
     report = ConformanceReport(algorithm=ir.name, seeds=cfg.seeds)
     keys = [(gpu.rank, tb.tb_id) for gpu in ir.gpus

@@ -24,6 +24,7 @@ from .collectives import (
     AllGather,
     AllReduce,
     AllToAll,
+    AllToAllV,
     AllToNext,
     Broadcast,
     Collective,
@@ -39,6 +40,7 @@ from .compiler import CompiledAlgorithm, CompilerOptions, compile_program
 from .dag import ChunkDAG, ChunkOp
 from .directives import parallelize
 from .errors import (
+    BuildError,
     ConformanceError,
     DeadlockError,
     MscclError,
@@ -50,9 +52,12 @@ from .errors import (
     StaleReferenceError,
     UninitializedChunkError,
     VerificationError,
+    XmlImportError,
 )
 from .fusion import fuse
 from .instructions import Instruction, InstructionDAG, Op
+from .interop import (collective_from_name, import_xml, import_xml_file,
+                      infer_collective, resolve_collective, trace_ir)
 from .ir import GpuProgram, IrInstruction, MscclIr, ThreadBlock
 from .lowering import lower
 from .passes import ir_stats, optimize_ir, prune_redundant_deps, renumber_channels
@@ -74,9 +79,11 @@ __all__ = [
     "AllGather",
     "AllReduce",
     "AllToAll",
+    "AllToAllV",
     "AllToNext",
     "Broadcast",
     "Buffer",
+    "BuildError",
     "ChunkDAG",
     "ChunkOp",
     "ChunkRef",
@@ -119,11 +126,18 @@ __all__ = [
     "Uninitialized",
     "UninitializedChunkError",
     "VerificationError",
+    "XmlImportError",
     "allreduce_result",
     "as_buffer",
     "audit_ir",
     "check_postcondition",
+    "collective_from_name",
     "dependence_edges",
+    "import_xml",
+    "import_xml_file",
+    "infer_collective",
+    "resolve_collective",
+    "trace_ir",
     "chunk_dag_dot",
     "describe_ir",
     "instruction_dag_dot",

@@ -374,6 +374,67 @@ class Scatter(Collective):
         }
 
 
+class AllToAllV(Collective):
+    """Variable-count all-to-all: ``counts[src][dst]`` chunks per pair.
+
+    The MoE token-dispatch pattern: every rank sends a different amount
+    to every peer. Rank r's input is the concatenation of its outgoing
+    blocks in destination order (block for dst at offset
+    ``send_offset(r, dst)``); its output is the concatenation of the
+    incoming blocks in source order (block from src at offset
+    ``recv_offset(src, r)``). Buffer sizes therefore differ per rank —
+    the collective that motivates variable-size chunk support end to
+    end. In-place operation is meaningless here (input and output have
+    different shapes) and is rejected.
+    """
+
+    name = "alltoallv"
+
+    def __init__(self, counts, reduce_op: str = "sum"):
+        rows = [list(int(c) for c in row) for row in counts]
+        if not rows or any(len(row) != len(rows) for row in rows):
+            raise ProgramError(
+                "alltoallv counts must be a square num_ranks x num_ranks "
+                f"matrix, got rows of lengths {[len(r) for r in rows]}"
+            )
+        if any(c < 0 for row in rows for c in row):
+            raise ProgramError("alltoallv counts must be non-negative")
+        super().__init__(len(rows), chunk_factor=1, in_place=False,
+                         reduce_op=reduce_op)
+        self.counts = rows
+
+    def input_chunks(self, rank: int) -> int:
+        return sum(self.counts[rank])
+
+    def output_chunks(self, rank: int) -> int:
+        return sum(self.counts[src][rank] for src in range(self.num_ranks))
+
+    def sizing_chunks(self) -> int:
+        # Rows differ per rank, so size against the largest buffer
+        # anywhere (rank 0 alone would under-size skewed matrices).
+        return max(
+            [1] + [max(self.input_chunks(r), self.output_chunks(r))
+                   for r in range(self.num_ranks)]
+        )
+
+    def send_offset(self, src: int, dst: int) -> int:
+        """Offset of the block for ``dst`` inside ``src``'s input."""
+        return sum(self.counts[src][:dst])
+
+    def recv_offset(self, src: int, dst: int) -> int:
+        """Offset of the block from ``src`` inside ``dst``'s output."""
+        return sum(self.counts[s][dst] for s in range(src))
+
+    def postcondition(self, rank: int) -> Dict[int, Chunk]:
+        expected: Dict[int, Chunk] = {}
+        for src in range(self.num_ranks):
+            base_out = self.recv_offset(src, rank)
+            base_in = self.send_offset(src, rank)
+            for k in range(self.counts[src][rank]):
+                expected[base_out + k] = InputChunk(src, base_in + k)
+        return expected
+
+
 class Custom(Collective):
     """A user-defined collective built from explicit size/post functions.
 

@@ -89,6 +89,27 @@ class PassValidationError(MscclError):
         )
 
 
+class XmlImportError(MscclError):
+    """A reference-dialect MSCCL XML document could not be imported.
+
+    Always names the offending element and attribute (e.g. ``<step>
+    missing required attribute 's'/'step'``) so hand-written XML can be
+    fixed from the message alone, instead of surfacing as a bare
+    ``TypeError: int() argument must not be None`` deep in parsing.
+    """
+
+
+class BuildError(MscclError):
+    """A structurally invalid use of the step-level IR builder.
+
+    Raised by :mod:`repro.build` when a program under construction
+    breaks an IR invariant that would otherwise only surface later as a
+    scheduling or audit failure: a send from a thread block with no send
+    peer, a dependency on a step that does not exist, overlapping
+    thread-block ids, and so on.
+    """
+
+
 class RuntimeConfigError(MscclError):
     """Invalid runtime configuration (unknown protocol, bad size range...)."""
 

@@ -45,8 +45,62 @@ def _reverse_depths(idag: InstructionDAG) -> Dict[int, int]:
     return depths
 
 
-def _channels_compatible(a: Optional[int], b: Optional[int]) -> bool:
-    return a is None or b is None or a == b
+class _ChainTracker:
+    """Channel chains as the scheduler will later see them.
+
+    ``_assign_channels`` identifies each communication edge by its
+    receiving instruction's id and unions a fused instruction's
+    incoming edge with its outgoing edge — transitively, so a chain of
+    rcs/rrcs hops must agree on a single explicit ``ch=`` directive. A
+    pairwise directive check at fusion time is not enough: two fusions
+    that look compatible locally can join chains whose *other* ends
+    carry different directives. This tracker mirrors the scheduler's
+    union-find so such fusions are skipped instead of exploding later
+    as a ``SchedulingError``.
+    """
+
+    def __init__(self, by_id: List[Optional[Instruction]]):
+        self._by_id = by_id
+        self._parent: Dict[int, int] = {}
+        self._dirs: Dict[int, Set[int]] = {}
+
+    def _register(self, edge: int) -> None:
+        if edge in self._parent:
+            return
+        self._parent[edge] = edge
+        dirs: Set[int] = set()
+        recv_side = self._by_id[edge]
+        if recv_side is not None:
+            if recv_side.channel_directive is not None:
+                dirs.add(recv_side.channel_directive)
+            if recv_side.recv_match is not None:
+                send_side = self._by_id[recv_side.recv_match]
+                if (send_side is not None
+                        and send_side.channel_directive is not None):
+                    dirs.add(send_side.channel_directive)
+        self._dirs[edge] = dirs
+
+    def _find(self, edge: int) -> int:
+        self._register(edge)
+        root = edge
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[edge] != root:  # path compression
+            self._parent[edge], edge = root, self._parent[edge]
+        return root
+
+    def can_merge(self, incoming_edge: int, outgoing_edge: int) -> bool:
+        """Would fusing these edges leave at most one directive?"""
+        merged = (self._dirs[self._find(incoming_edge)]
+                  | self._dirs[self._find(outgoing_edge)])
+        return len(merged) <= 1
+
+    def merge(self, incoming_edge: int, outgoing_edge: int) -> None:
+        ra = self._find(incoming_edge)
+        rb = self._find(outgoing_edge)
+        if ra != rb:
+            self._parent[rb] = ra
+            self._dirs[ra] |= self._dirs.pop(rb)
 
 
 def _pick_send(receiver: Instruction, candidates: List[Instruction],
@@ -69,6 +123,7 @@ def fuse(idag: InstructionDAG) -> InstructionDAG:
             dependents[dep].add(instr.instr_id)
 
     by_id = idag.instructions  # list indexed by instr_id; fused slots None
+    chains = _ChainTracker(by_id)
 
     for receiver in list(idag.live()):
         if receiver.op not in (Op.RECV, Op.RECV_REDUCE_COPY):
@@ -84,8 +139,13 @@ def fuse(idag: InstructionDAG) -> InstructionDAG:
                 continue
             if cand.fraction != receiver.fraction:
                 continue
-            if not _channels_compatible(
-                    cand.channel_directive, receiver.channel_directive):
+            # Fusing ties the receiver's incoming communication edge to
+            # the send's outgoing one in the scheduler's channel
+            # assignment; both (transitive) chains must agree on one
+            # explicit ch= directive.
+            if (cand.send_match is not None
+                    and not chains.can_merge(receiver.instr_id,
+                                             cand.send_match)):
                 continue
             # Fusing moves the send to the receiver's position: every
             # other prerequisite of the send must already be satisfied
@@ -98,6 +158,8 @@ def fuse(idag: InstructionDAG) -> InstructionDAG:
             continue
 
         send = _pick_send(receiver, candidates, rev_depth)
+        if send.send_match is not None:
+            chains.merge(receiver.instr_id, send.send_match)
         _fuse_pair(receiver, send, by_id, dependents)
 
     return idag

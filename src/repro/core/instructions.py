@@ -12,6 +12,7 @@ local instructions (paper section 4.2):
 ``rcs``         recvCopySend: store incoming locally and forward it
 ``rrcs``        recvReduceCopySend: rrc, then forward the result
 ``rrs``         recvReduceSend: forward src (+) incoming, no local write
+``nop``         no data movement; carries cross-thread-block ordering
 ==============  =======================================================
 
 Each instruction may be one *instance* of a parallelized operation, in
@@ -44,6 +45,10 @@ class Op(enum.Enum):
     RECV_COPY_SEND = "rcs"
     RECV_REDUCE_COPY_SEND = "rrcs"
     RECV_REDUCE_SEND = "rrs"
+    # Synchronization-only step: moves no data, exists to carry a
+    # cross-thread-block dependency (hand-written MSCCL XML uses these
+    # as barriers). Not a member of any op set below.
+    NOP = "nop"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -1,0 +1,783 @@
+"""Real-MSCCL XML interop: import, abstract replay, collective inference.
+
+The MSCCLang paper positions MSCCL-IR/XML as the interchange point
+between algorithm authors and the runtime. This module makes that
+bidirectional: :func:`import_xml` accepts both our own emitted dialect
+and the reference dialect that hand-written XML (MSCCL-XML-Builder,
+msccl-tools output) uses —
+
+* short buffer names ``i``/``o``/``s`` next to ``input``/``output``/
+  ``scratch``,
+* op aliases ``send``/``recv``/``copy``/``reduce`` next to the short
+  codes ``s``/``r``/``cpy``/``re``/``rrc``/``rcs``/``rrcs``/``rrs``,
+  plus synchronization-only ``nop`` steps,
+* the step-index attribute spelled ``s`` instead of ``step``,
+* scalar ``depid="-1" deps="-1"`` meaning "no dependency",
+* absent optional attributes (``seq``, ``hasdep``, chunk counts)
+  filled by inference.
+
+Malformed input raises :class:`~repro.core.errors.XmlImportError`
+naming the offending element and attribute instead of surfacing as a
+``TypeError`` deep inside ``int()``.
+
+Imported programs lack the compiler's metadata, so two reconstruction
+passes run after parsing: receive-sequence tags (the runtime's indexed
+FIFO slots) are inferred per connection in thread-block program order,
+and ``has_dep`` flags are recomputed from the union of all dependency
+targets.
+
+For third-party algorithms we also need an *oracle*: :func:`trace_ir`
+abstract-interprets a scheduled IR over chunk identities (the same
+values the DSL tracer uses), and :func:`infer_collective` packages the
+resulting output states as a :class:`~repro.core.collectives.Custom`
+postcondition. :func:`resolve_collective` prefers a real collective
+reconstructed from the XML's ``coll`` name (a genuine independent
+check) and falls back to the traced one, which still lets the
+differential conformance harness compare executor, simulator, and
+schedule permutations against program-order semantics.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+from xml.etree import ElementTree
+
+from .buffers import Buffer, as_buffer
+from .chunk import (UNINITIALIZED, Chunk, InputChunk, is_initialized,
+                    reduce_chunks)
+from .collectives import (AllGather, AllReduce, AllToAll, AllToNext,
+                          Collective, Custom, ReduceScatter)
+from .errors import (DeadlockError, ProgramError, UninitializedChunkError,
+                     VerificationError, XmlImportError)
+from .instructions import Op, RECEIVING_OPS, SENDING_OPS
+from .ir import GpuProgram, IrInstruction, MscclIr, ThreadBlock
+
+__all__ = [
+    "import_xml",
+    "import_xml_file",
+    "trace_ir",
+    "infer_collective",
+    "collective_from_name",
+    "resolve_collective",
+    "OP_ALIASES",
+]
+
+#: Accepted spellings of the ``type`` attribute. The enum values are the
+#: short codes; the long names are what hand-written XML tends to use.
+OP_ALIASES: Dict[str, Op] = {op.value: op for op in Op}
+OP_ALIASES.update({
+    "send": Op.SEND,
+    "recv": Op.RECV,
+    "copy": Op.COPY,
+    "reduce": Op.REDUCE,
+    "recvreducecopy": Op.RECV_REDUCE_COPY,
+    "recvcopysend": Op.RECV_COPY_SEND,
+    "recvreducecopysend": Op.RECV_REDUCE_COPY_SEND,
+    "recvreducesend": Op.RECV_REDUCE_SEND,
+})
+
+
+# ---------------------------------------------------------------------------
+# attribute helpers: every failure names the element and attribute
+# ---------------------------------------------------------------------------
+
+_REQUIRED = object()
+
+
+def _attr(el: ElementTree.Element, names) -> Tuple[Optional[str], str]:
+    """First present attribute among ``names`` and its display name."""
+    for name in names:
+        value = el.get(name)
+        if value is not None:
+            return value, name
+    return None, "/".join(repr(n) for n in names)
+
+
+def _int_attr(el: ElementTree.Element, where: str, names,
+              default=_REQUIRED) -> int:
+    value, label = _attr(el, names)
+    if value is None:
+        if default is _REQUIRED:
+            raise XmlImportError(
+                f"<{el.tag}> {where}: missing required attribute {label}"
+            )
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise XmlImportError(
+            f"<{el.tag}> {where}: attribute {label} must be an integer, "
+            f"got {value!r}"
+        ) from None
+
+
+def _fraction_attr(el: ElementTree.Element, where: str, name: str,
+                   default: str) -> Fraction:
+    value = el.get(name, default)
+    try:
+        return Fraction(value)
+    except (ValueError, ZeroDivisionError):
+        raise XmlImportError(
+            f"<{el.tag}> {where}: attribute {name!r} must be a fraction "
+            f"like '1/2', got {value!r}"
+        ) from None
+
+
+def _buffer_attr(el: ElementTree.Element, where: str,
+                 name: str) -> Optional[Buffer]:
+    value = el.get(name)
+    if value is None:
+        return None
+    try:
+        return as_buffer(value)
+    except ProgramError as exc:
+        raise XmlImportError(
+            f"<{el.tag}> {where}: attribute {name!r}: {exc}"
+        ) from None
+
+
+def _parse_dep_list(el: ElementTree.Element,
+                    where: str) -> List[Tuple[int, int]]:
+    """``depid``/``deps`` as comma lists; ``-1`` entries mean "none"."""
+    dep_ids = el.get("depid")
+    dep_steps = el.get("deps")
+    if dep_ids is None and dep_steps is None:
+        return []
+    if dep_ids is None or dep_steps is None:
+        missing = "deps" if dep_steps is None else "depid"
+        raise XmlImportError(
+            f"<step> {where}: 'depid' and 'deps' must appear together "
+            f"(missing {missing!r})"
+        )
+    ids = dep_ids.split(",")
+    steps = dep_steps.split(",")
+    if len(ids) != len(steps):
+        raise XmlImportError(
+            f"<step> {where}: 'depid' lists {len(ids)} entries but "
+            f"'deps' lists {len(steps)}"
+        )
+    depends = []
+    for tb_text, step_text in zip(ids, steps):
+        try:
+            dep_tb, dep_step = int(tb_text), int(step_text)
+        except ValueError:
+            raise XmlImportError(
+                f"<step> {where}: 'depid'/'deps' entries must be "
+                f"integers, got {tb_text!r}/{step_text!r}"
+            ) from None
+        if dep_tb < 0:
+            continue  # reference dialect: depid="-1" means no dependency
+        depends.append((dep_tb, dep_step))
+    return depends
+
+
+def _parse_lineage(el: ElementTree.Element, where: str):
+    raw = el.get("lineage")
+    if not raw:
+        return None
+    origins = []
+    for origin in raw.split(","):
+        parts = origin.split(":")
+        if len(parts) != 3:
+            raise XmlImportError(
+                f"<step> {where}: 'lineage' entries must look like "
+                f"'rank:buffer:index', got {origin!r}"
+            )
+        try:
+            origins.append((int(parts[0]), parts[1], int(parts[2])))
+        except ValueError:
+            raise XmlImportError(
+                f"<step> {where}: 'lineage' rank/index must be integers "
+                f"in {origin!r}"
+            ) from None
+    return tuple(origins)
+
+
+# ---------------------------------------------------------------------------
+# the importer
+# ---------------------------------------------------------------------------
+
+def import_xml(text: str) -> MscclIr:
+    """Parse MSCCL XML (our dialect or the reference one) into an IR.
+
+    Raises :class:`XmlImportError` on malformed documents; the message
+    always names the offending element and attribute.
+    """
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise XmlImportError(f"not well-formed XML: {exc}") from None
+    if root.tag != "algo":
+        raise XmlImportError(
+            f"expected a top-level <algo> element, got <{root.tag}>"
+        )
+    num_ranks = _int_attr(root, "(top level)", ("ngpus",))
+    if num_ranks < 1:
+        raise XmlImportError(
+            f"<algo> (top level): 'ngpus' must be >= 1, got {num_ranks}"
+        )
+    ir = MscclIr(
+        name=root.get("name", "unnamed"),
+        collective=root.get("coll", "custom"),
+        protocol=root.get("proto", "Simple"),
+        num_ranks=num_ranks,
+        in_place=root.get("inplace", "0") == "1",
+    )
+
+    seen_ranks = set()
+    for gpu_el in root.findall("gpu"):
+        rank = _int_attr(gpu_el, "(under <algo>)", ("id",))
+        where_gpu = f"(gpu {rank})"
+        if rank in seen_ranks:
+            raise XmlImportError(f"<gpu> {where_gpu}: duplicate gpu id")
+        seen_ranks.add(rank)
+        gpu = GpuProgram(
+            rank=rank,
+            input_chunks=_int_attr(gpu_el, where_gpu, ("i_chunks",), 0),
+            output_chunks=_int_attr(gpu_el, where_gpu, ("o_chunks",), 0),
+            scratch_chunks=_int_attr(gpu_el, where_gpu, ("s_chunks",), 0),
+        )
+        seen_tbs = set()
+        for position, tb_el in enumerate(gpu_el.findall("tb")):
+            tb_id = _int_attr(tb_el, where_gpu, ("id",), position)
+            where_tb = f"(gpu {rank}, tb {tb_id})"
+            if tb_id in seen_tbs:
+                raise XmlImportError(
+                    f"<tb> {where_tb}: duplicate tb id on gpu {rank}"
+                )
+            seen_tbs.add(tb_id)
+            send = _int_attr(tb_el, where_tb, ("send",), -1)
+            recv = _int_attr(tb_el, where_tb, ("recv",), -1)
+            tb = ThreadBlock(
+                tb_id=tb_id,
+                send_peer=None if send < 0 else send,
+                recv_peer=None if recv < 0 else recv,
+                channel=_int_attr(tb_el, where_tb, ("chan",), 0),
+            )
+            for step_el in tb_el.findall("step"):
+                tb.instructions.append(
+                    _parse_step(step_el, where_tb)
+                )
+            _order_steps(tb, where_tb)
+            gpu.threadblocks.append(tb)
+        ir.gpus.append(gpu)
+
+    if seen_ranks != set(range(num_ranks)):
+        missing = sorted(set(range(num_ranks)) - seen_ranks)
+        extra = sorted(seen_ranks - set(range(num_ranks)))
+        detail = []
+        if missing:
+            detail.append(f"missing gpu ids {missing}")
+        if extra:
+            detail.append(f"unexpected gpu ids {extra}")
+        raise XmlImportError(
+            f"<algo> declares ngpus={num_ranks} but " + ", ".join(detail)
+        )
+    ir.gpus.sort(key=lambda g: g.rank)
+
+    _deduce_scratch_sizes(ir)
+    _validate_spans(ir)
+    _validate_depends(ir)
+    _validate_unique_connections(ir)
+    _infer_recv_seqs(ir)
+    _recompute_has_dep(ir)
+    return ir
+
+
+def import_xml_file(path) -> MscclIr:
+    """Read ``path`` and :func:`import_xml` its contents."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return import_xml(handle.read())
+
+
+def _parse_step(step_el: ElementTree.Element, where_tb: str) -> IrInstruction:
+    step = _int_attr(step_el, where_tb, ("step", "s"))
+    where = f"{where_tb[:-1]}, step {step})"
+    op_text = step_el.get("type")
+    if op_text is None:
+        raise XmlImportError(
+            f"<step> {where}: missing required attribute 'type'"
+        )
+    op = OP_ALIASES.get(op_text.lower())
+    if op is None:
+        raise XmlImportError(
+            f"<step> {where}: unknown op type {op_text!r}; expected one "
+            f"of {sorted(OP_ALIASES)}"
+        )
+    count = _int_attr(step_el, where, ("cnt",), 1)
+    src = None
+    src_buf = _buffer_attr(step_el, where, "srcbuf")
+    if src_buf is not None:
+        src = (src_buf,
+               _int_attr(step_el, where, ("srcoff",)),
+               _int_attr(step_el, where, ("scnt",), count))
+    dst = None
+    dst_buf = _buffer_attr(step_el, where, "dstbuf")
+    if dst_buf is not None:
+        dst = (dst_buf,
+               _int_attr(step_el, where, ("dstoff",)),
+               _int_attr(step_el, where, ("dcnt",), count))
+    has_dep_text = step_el.get("hasdep")
+    return IrInstruction(
+        step=step,
+        op=op,
+        src=src,
+        dst=dst,
+        count=count,
+        frac_lo=_fraction_attr(step_el, where, "flo", "0"),
+        frac_hi=_fraction_attr(step_el, where, "fhi", "1"),
+        depends=_parse_dep_list(step_el, where),
+        # None here means "not stated"; _recompute_has_dep fills it in
+        # from the union of dependency targets after the whole program
+        # is parsed.
+        has_dep=(None if has_dep_text is None else has_dep_text == "1"),
+        recv_seq=_int_attr(step_el, where, ("seq",), None),
+        lineage=_parse_lineage(step_el, where),
+    )
+
+
+def _order_steps(tb: ThreadBlock, where_tb: str) -> None:
+    """Sort by step index and require a contiguous 0..n-1 program."""
+    tb.instructions.sort(key=lambda i: i.step)
+    indices = [i.step for i in tb.instructions]
+    if indices != list(range(len(indices))):
+        raise XmlImportError(
+            f"<tb> {where_tb}: step indices must be contiguous from 0, "
+            f"got {indices}"
+        )
+
+
+def _deduce_scratch_sizes(ir: MscclIr) -> None:
+    """Grow each declared scratch size to cover the highest index used.
+
+    Hand-written XML routinely omits ``s_chunks``; the paper deduces
+    scratch sizes from use, so the importer does too.
+    """
+    for gpu in ir.gpus:
+        high = gpu.scratch_chunks
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                for span in (instr.src, instr.dst):
+                    if span is not None and span[0] is Buffer.SCRATCH:
+                        high = max(high, span[1] + span[2])
+        gpu.scratch_chunks = high
+
+
+def _validate_spans(ir: MscclIr) -> None:
+    for gpu in ir.gpus:
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                where = (f"(gpu {gpu.rank}, tb {tb.tb_id}, "
+                         f"step {instr.step})")
+                for label, span in (("src", instr.src), ("dst", instr.dst)):
+                    if span is None:
+                        continue
+                    buf, index, cnt = span
+                    if index < 0 or cnt < 1:
+                        raise XmlImportError(
+                            f"<step> {where}: {label} span "
+                            f"{buf.value}[{index}:{index + cnt}] must have "
+                            "a non-negative offset and a positive count"
+                        )
+                    declared = gpu.buffer_chunks(buf)
+                    if index + cnt > declared:
+                        raise XmlImportError(
+                            f"<step> {where}: {label} span "
+                            f"{buf.value}[{index}:{index + cnt}] exceeds "
+                            f"the declared {buf.value} size of {declared} "
+                            f"chunk(s) on gpu {gpu.rank}"
+                        )
+
+
+def _validate_depends(ir: MscclIr) -> None:
+    """Every dependency must name an existing same-rank (tb, step)."""
+    for gpu in ir.gpus:
+        steps = {
+            (tb.tb_id, instr.step)
+            for tb in gpu.threadblocks
+            for instr in tb.instructions
+        }
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                for dep in instr.depends:
+                    if tuple(dep) not in steps:
+                        raise XmlImportError(
+                            f"<step> (gpu {gpu.rank}, tb {tb.tb_id}, "
+                            f"step {instr.step}): dependency on "
+                            f"(tb {dep[0]}, step {dep[1]}), which does "
+                            f"not exist on gpu {gpu.rank}"
+                        )
+
+
+def _validate_unique_connections(ir: MscclIr) -> None:
+    """One thread block per directed (peer, channel) connection per gpu.
+
+    The MSCCL runtime gives each thread block its own connection pair;
+    two thread blocks sharing a send (or recv) connection would make
+    FIFO message ordering ambiguous, so the importer rejects it the
+    same way the scheduler refuses to produce it.
+    """
+    for gpu in ir.gpus:
+        seen: Dict[Tuple[str, int, int], int] = {}
+        for tb in gpu.threadblocks:
+            for kind, peer in (("send", tb.send_peer),
+                               ("recv", tb.recv_peer)):
+                if peer is None:
+                    continue
+                key = (kind, peer, tb.channel)
+                other = seen.get(key)
+                if other is not None:
+                    raise XmlImportError(
+                        f"<tb> (gpu {gpu.rank}, tb {tb.tb_id}): {kind} "
+                        f"connection to rank {peer} on channel "
+                        f"{tb.channel} is already used by tb {other}; "
+                        "each directed connection belongs to exactly "
+                        "one thread block"
+                    )
+                seen[key] = tb.tb_id
+
+
+def _infer_recv_seqs(ir: MscclIr) -> None:
+    """Tag receives with FIFO slot indices when the XML omits them.
+
+    The runtime's FIFO slots are indexed: receive ``seq`` consumes the
+    connection's ``seq``-th message. Our own XML carries explicit
+    ``seq`` attributes; reference XML does not, because hand-written
+    programs receive in thread-block program order. So per connection:
+    if every receive is untagged, number them 0..n-1 in program order
+    (connections are single-thread-block, so this is the step order).
+    Mixing tagged and untagged receives on one connection is ambiguous
+    and rejected.
+    """
+    by_conn: Dict[Tuple[int, int, int], List[IrInstruction]] = {}
+    for gpu in ir.gpus:
+        for tb in sorted(gpu.threadblocks, key=lambda t: t.tb_id):
+            for instr in tb.instructions:
+                if instr.op in RECEIVING_OPS:
+                    if tb.recv_peer is None:
+                        raise XmlImportError(
+                            f"<step> (gpu {gpu.rank}, tb {tb.tb_id}, "
+                            f"step {instr.step}): op "
+                            f"{instr.op.value!r} receives but the thread "
+                            "block declares no recv peer"
+                        )
+                    conn = (tb.recv_peer, gpu.rank, tb.channel)
+                    by_conn.setdefault(conn, []).append(instr)
+    for conn, instrs in by_conn.items():
+        tagged = [i for i in instrs if i.recv_seq is not None]
+        if len(tagged) == len(instrs):
+            continue
+        if tagged:
+            src, dst, ch = conn
+            raise XmlImportError(
+                f"connection {src}->{dst} ch{ch} mixes explicit 'seq' "
+                "attributes with untagged receives; tag all or none"
+            )
+        for seq, instr in enumerate(instrs):
+            instr.recv_seq = seq
+
+
+def _recompute_has_dep(ir: MscclIr) -> None:
+    """Fill unstated ``has_dep`` flags from the dependency targets."""
+    for gpu in ir.gpus:
+        targets = {
+            tuple(dep)
+            for tb in gpu.threadblocks
+            for instr in tb.instructions
+            for dep in instr.depends
+        }
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                if instr.has_dep is None:
+                    instr.has_dep = (tb.tb_id, instr.step) in targets
+
+
+# ---------------------------------------------------------------------------
+# abstract replay: program-order semantics over chunk identities
+# ---------------------------------------------------------------------------
+
+def trace_ir(ir: MscclIr,
+             collective: Optional[Collective] = None) -> Dict[int, Dict[int, Chunk]]:
+    """Abstract-interpret a scheduled IR; return per-rank output states.
+
+    Runs the IR to completion over chunk identities (the values the DSL
+    tracer uses), respecting cross-thread-block dependencies and the
+    runtime's indexed FIFO slots, and returns ``{rank: {output index:
+    chunk}}`` for every initialized output location. This is the
+    program-order semantics the conformance harness compares shuffled
+    and fault-injected executions against.
+
+    Inputs are seeded from ``collective.precondition`` when one is
+    given (which also resolves in-place aliasing); otherwise every rank
+    ``r`` gets ``InputChunk(r, i)`` across its declared input buffer.
+    In-place IRs without a collective are rejected — the input/output
+    aliasing cannot be reconstructed from the IR alone. Fractional
+    instances (``flo``/``fhi``) are likewise rejected here: identity
+    semantics cannot split a chunk, so such programs must be verified
+    at the data level via the executor instead.
+    """
+    if collective is None and ir.in_place:
+        raise ProgramError(
+            f"IR '{ir.name}' is in-place; tracing needs an explicit "
+            "collective to reconstruct the input/output aliasing"
+        )
+    for gpu in ir.gpus:
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                if (instr.frac_lo, instr.frac_hi) != (Fraction(0),
+                                                      Fraction(1)):
+                    raise ProgramError(
+                        f"IR '{ir.name}' uses fractional instances "
+                        f"(gpu {gpu.rank}, tb {tb.tb_id}, step "
+                        f"{instr.step}); identity-level tracing cannot "
+                        "split chunks — verify via the executor instead"
+                    )
+
+    buffers: Dict[Tuple[int, Buffer], List[Chunk]] = {}
+    for gpu in ir.gpus:
+        for buf in Buffer:
+            buffers[(gpu.rank, buf)] = (
+                [UNINITIALIZED] * gpu.buffer_chunks(buf)
+            )
+        if collective is not None:
+            for index, value in collective.precondition(gpu.rank).items():
+                buf, store = collective.alias(gpu.rank, Buffer.INPUT, index)
+                buffers[(gpu.rank, buf)][store] = value
+        else:
+            for index in range(gpu.input_chunks):
+                buffers[(gpu.rank, Buffer.INPUT)][index] = InputChunk(
+                    gpu.rank, index
+                )
+
+    def read(rank: int, span) -> List[Chunk]:
+        buf, index, cnt = span
+        values = buffers[(rank, buf)][index:index + cnt]
+        if len(values) != cnt:
+            raise VerificationError(
+                f"rank {rank} span {buf.value}[{index}:{index + cnt}] "
+                f"exceeds the buffer ({len(buffers[(rank, buf)])} chunks)"
+            )
+        for offset, value in enumerate(values):
+            if not is_initialized(value):
+                raise UninitializedChunkError(
+                    f"rank {rank} read uninitialized chunk at "
+                    f"{buf.value}[{index + offset}] while tracing "
+                    f"'{ir.name}'"
+                )
+        return values
+
+    def write(rank: int, span, values: List[Chunk]) -> None:
+        buf, index, cnt = span
+        if len(values) != cnt:
+            raise VerificationError(
+                f"rank {rank} write to {buf.value}[{index}:{index + cnt}] "
+                f"got a payload of {len(values)} chunk(s)"
+            )
+        buffers[(rank, buf)][index:index + cnt] = values
+
+    # Cooperative sweeps, mirroring the executor: each pass runs every
+    # thread block as far as it can go; no progress across a full
+    # sweep means deadlock (audit_ir should have caught it earlier).
+    tbs = [(gpu, tb) for gpu in ir.gpus for tb in gpu.threadblocks]
+    pcs = {(gpu.rank, tb.tb_id): 0 for gpu, tb in tbs}
+    done = set()
+    fifos: Dict[Tuple[int, int, int], Dict[int, List[Chunk]]] = {}
+    send_seq: Dict[Tuple[int, int, int], int] = {}
+    total = ir.instruction_count()
+
+    def payload_in(gpu, tb, instr) -> List[Chunk]:
+        conn = (tb.recv_peer, gpu.rank, tb.channel)
+        message = fifos[conn].pop(instr.recv_seq)
+        expect = (instr.src if instr.op is Op.RECV_REDUCE_SEND
+                  else instr.dst)
+        if expect is not None and len(message) != expect[2]:
+            src, dst, ch = conn
+            raise VerificationError(
+                f"connection {src}->{dst} ch{ch} message "
+                f"{instr.recv_seq}: sender pushed {len(message)} "
+                f"chunk(s) but the receive at (gpu {gpu.rank}, tb "
+                f"{tb.tb_id}, step {instr.step}) expects {expect[2]}"
+            )
+        return message
+
+    def push_out(gpu, tb, values: List[Chunk]) -> None:
+        conn = (gpu.rank, tb.send_peer, tb.channel)
+        seq = send_seq.get(conn, 0)
+        send_seq[conn] = seq + 1
+        fifos.setdefault(conn, {})[seq] = values
+
+    progress = True
+    while progress:
+        progress = False
+        for gpu, tb in tbs:
+            key = (gpu.rank, tb.tb_id)
+            while pcs[key] < len(tb.instructions):
+                instr = tb.instructions[pcs[key]]
+                if any((gpu.rank, dep_tb, dep_step) not in done
+                       for dep_tb, dep_step in instr.depends):
+                    break
+                if instr.op in RECEIVING_OPS:
+                    conn = (tb.recv_peer, gpu.rank, tb.channel)
+                    if instr.recv_seq not in fifos.get(conn, {}):
+                        break
+                op = instr.op
+                if op is Op.SEND:
+                    push_out(gpu, tb, read(gpu.rank, instr.src))
+                elif op is Op.RECV:
+                    write(gpu.rank, instr.dst, payload_in(gpu, tb, instr))
+                elif op is Op.COPY:
+                    write(gpu.rank, instr.dst, read(gpu.rank, instr.src))
+                elif op is Op.REDUCE:
+                    write(gpu.rank, instr.dst, [
+                        reduce_chunks(a, b) for a, b in zip(
+                            read(gpu.rank, instr.src),
+                            read(gpu.rank, instr.dst))
+                    ])
+                elif op is Op.RECV_REDUCE_COPY:
+                    message = payload_in(gpu, tb, instr)
+                    write(gpu.rank, instr.dst, [
+                        reduce_chunks(m, s) for m, s in zip(
+                            message, read(gpu.rank, instr.src))
+                    ])
+                elif op is Op.RECV_COPY_SEND:
+                    message = payload_in(gpu, tb, instr)
+                    write(gpu.rank, instr.dst, message)
+                    push_out(gpu, tb, message)
+                elif op is Op.RECV_REDUCE_COPY_SEND:
+                    message = payload_in(gpu, tb, instr)
+                    combined = [
+                        reduce_chunks(m, s) for m, s in zip(
+                            message, read(gpu.rank, instr.src))
+                    ]
+                    write(gpu.rank, instr.dst, combined)
+                    push_out(gpu, tb, combined)
+                elif op is Op.RECV_REDUCE_SEND:
+                    message = payload_in(gpu, tb, instr)
+                    push_out(gpu, tb, [
+                        reduce_chunks(m, s) for m, s in zip(
+                            message, read(gpu.rank, instr.src))
+                    ])
+                elif op is Op.NOP:
+                    pass
+                else:  # pragma: no cover - Op is exhaustive above
+                    raise VerificationError(f"unknown opcode {op}")
+                done.add((gpu.rank, tb.tb_id, instr.step))
+                pcs[key] += 1
+                progress = True
+
+    if len(done) != total:
+        blocked = []
+        for gpu, tb in tbs:
+            pc = pcs[(gpu.rank, tb.tb_id)]
+            if pc < len(tb.instructions):
+                instr = tb.instructions[pc]
+                blocked.append((gpu.rank, tb.tb_id, instr.step,
+                                f"stuck at op {instr.op.value!r}"))
+        raise DeadlockError(
+            f"tracing IR '{ir.name}' stalled with "
+            f"{total - len(done)} instruction(s) blocked",
+            blocked=blocked,
+        )
+
+    return {
+        gpu.rank: {
+            index: value
+            for index, value in enumerate(
+                buffers[(gpu.rank, Buffer.OUTPUT)])
+            if is_initialized(value)
+        }
+        for gpu in ir.gpus
+    }
+
+
+def infer_collective(ir: MscclIr) -> Custom:
+    """Package an IR's traced program-order semantics as a collective.
+
+    The returned :class:`Custom` collective's postcondition is exactly
+    what the IR computes, so it cannot catch an *algorithmic* bug — but
+    it gives the differential conformance harness a fixed point to
+    compare the executor, the simulator, shuffled schedules, and fault
+    injection against, which is the oracle third-party XML needs.
+    """
+    outputs = trace_ir(ir)
+    input_sizes = {gpu.rank: gpu.input_chunks for gpu in ir.gpus}
+    output_sizes = {gpu.rank: gpu.output_chunks for gpu in ir.gpus}
+    return Custom(
+        num_ranks=ir.num_ranks,
+        postcondition_fn=lambda rank: dict(outputs[rank]),
+        input_chunks_fn=lambda rank: input_sizes[rank],
+        output_chunks_fn=lambda rank: output_sizes[rank],
+        name=f"{ir.collective or 'custom'} (traced)",
+    )
+
+
+def collective_from_name(ir: MscclIr) -> Optional[Collective]:
+    """Reconstruct a standard collective from the XML's ``coll`` name.
+
+    Uses the declared buffer sizes to recover ``chunk_factor``. Returns
+    ``None`` when the name is unknown, needs parameters the XML does
+    not carry (a root rank, an alltoallv count matrix), or the declared
+    sizes do not fit the named collective's shape.
+    """
+    if not ir.gpus:
+        return None
+    name = (ir.collective or "").lower()
+    n = ir.num_ranks
+    in0 = ir.gpus[0].input_chunks
+    out0 = ir.gpus[0].output_chunks
+
+    def uniform(getter) -> bool:
+        return all(getter(g) == getter(ir.gpus[0]) for g in ir.gpus)
+
+    if not (uniform(lambda g: g.input_chunks)
+            and uniform(lambda g: g.output_chunks)):
+        return None
+
+    try:
+        if name == "allreduce" and out0 >= 1:
+            if ir.in_place or in0 == out0:
+                return AllReduce(n, chunk_factor=out0,
+                                 in_place=ir.in_place)
+        elif name == "allgather" and out0 >= n and out0 % n == 0:
+            factor = out0 // n
+            if in0 in (0, factor):
+                return AllGather(n, chunk_factor=factor,
+                                 in_place=ir.in_place)
+        elif name == "reducescatter" and in0 >= n and in0 % n == 0:
+            factor = in0 // n
+            expected_out = in0 if ir.in_place else factor
+            if out0 == expected_out:
+                return ReduceScatter(n, chunk_factor=factor,
+                                     in_place=ir.in_place)
+        elif name == "alltoall" and not ir.in_place:
+            if in0 == out0 and in0 >= n and in0 % n == 0:
+                return AllToAll(n, chunk_factor=in0 // n)
+        elif name == "alltonext" and not ir.in_place:
+            if in0 == out0 and in0 >= 1:
+                return AllToNext(n, chunk_factor=in0)
+    except ProgramError:
+        return None
+    return None
+
+
+def resolve_collective(ir: MscclIr,
+                       collective: Optional[Collective] = None) -> Collective:
+    """The collective to verify an imported IR against.
+
+    Preference order: an explicitly supplied :class:`Collective`; a
+    standard collective reconstructed from the XML's ``coll`` name
+    (an *independent* postcondition, so it catches wrong algorithms);
+    finally the traced :func:`infer_collective` oracle.
+    """
+    if collective is not None:
+        if not isinstance(collective, Collective):
+            raise ProgramError(
+                "resolve_collective needs a Collective instance, got "
+                f"{type(collective).__name__}"
+            )
+        return collective
+    named = collective_from_name(ir)
+    if named is not None:
+        return named
+    return infer_collective(ir)

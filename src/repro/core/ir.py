@@ -186,7 +186,10 @@ class MscclIr:
 
     @staticmethod
     def from_json(text: str) -> "MscclIr":
-        data = json.loads(text)
+        return MscclIr.from_dict(json.loads(text))
+
+    @staticmethod
+    def from_dict(data: dict) -> "MscclIr":
         ir = MscclIr(
             name=data["name"],
             collective=data["collective"],
@@ -236,78 +239,17 @@ class MscclIr:
 
     @staticmethod
     def from_xml(text: str) -> "MscclIr":
-        """Parse the msccl-tools-style XML emitted by :meth:`to_xml`."""
-        root = ElementTree.fromstring(text)
-        ir = MscclIr(
-            name=root.get("name", "unnamed"),
-            collective=root.get("coll", "custom"),
-            protocol=root.get("proto", "Simple"),
-            num_ranks=int(root.get("ngpus")),
-            in_place=root.get("inplace", "0") == "1",
-        )
-        for gpu_el in root.findall("gpu"):
-            gpu = GpuProgram(
-                rank=int(gpu_el.get("id")),
-                input_chunks=int(gpu_el.get("i_chunks", "0")),
-                output_chunks=int(gpu_el.get("o_chunks", "0")),
-                scratch_chunks=int(gpu_el.get("s_chunks", "0")),
-            )
-            for tb_el in gpu_el.findall("tb"):
-                send = int(tb_el.get("send", "-1"))
-                recv = int(tb_el.get("recv", "-1"))
-                tb = ThreadBlock(
-                    tb_id=int(tb_el.get("id")),
-                    send_peer=None if send < 0 else send,
-                    recv_peer=None if recv < 0 else recv,
-                    channel=int(tb_el.get("chan", "0")),
-                )
-                for step_el in tb_el.findall("step"):
-                    src = None
-                    if step_el.get("srcbuf") is not None:
-                        src = (Buffer(step_el.get("srcbuf")),
-                               int(step_el.get("srcoff")),
-                               int(step_el.get("cnt", "1")))
-                    dst = None
-                    if step_el.get("dstbuf") is not None:
-                        dst = (Buffer(step_el.get("dstbuf")),
-                               int(step_el.get("dstoff")),
-                               int(step_el.get("cnt", "1")))
-                    depends = []
-                    if step_el.get("depid"):
-                        dep_ids = step_el.get("depid").split(",")
-                        dep_steps = step_el.get("deps").split(",")
-                        depends = [
-                            (int(tb_id), int(dep_step))
-                            for tb_id, dep_step in zip(dep_ids, dep_steps)
-                        ]
-                    seq = step_el.get("seq")
-                    lineage = None
-                    if step_el.get("lineage"):
-                        lineage = tuple(
-                            (int(rank), buf, int(index))
-                            for rank, buf, index in (
-                                origin.split(":")
-                                for origin in
-                                step_el.get("lineage").split(",")
-                            )
-                        )
-                    tb.instructions.append(IrInstruction(
-                        step=int(step_el.get("step")),
-                        op=Op(step_el.get("type")),
-                        src=src,
-                        dst=dst,
-                        count=int(step_el.get("cnt", "1")),
-                        frac_lo=Fraction(step_el.get("flo", "0")),
-                        frac_hi=Fraction(step_el.get("fhi", "1")),
-                        depends=depends,
-                        has_dep=step_el.get("hasdep") == "1",
-                        recv_seq=None if seq is None else int(seq),
-                        lineage=lineage,
-                    ))
-                gpu.threadblocks.append(tb)
-            ir.gpus.append(gpu)
-        ir.gpus.sort(key=lambda g: g.rank)
-        return ir
+        """Parse MSCCL XML: our own dialect or the reference one.
+
+        Delegates to :func:`repro.core.interop.import_xml`, which also
+        accepts the reference-dialect spellings (``i``/``o``/``s``
+        buffer names, ``nop``/``copy``/``send`` op aliases, scalar
+        ``depid="-1"``) and raises :class:`~repro.core.errors.
+        XmlImportError` naming the offending element and attribute on
+        malformed input.
+        """
+        from .interop import import_xml
+        return import_xml(text)
 
     def to_xml(self) -> str:
         """msccl-tools-style XML rendering (for human inspection)."""
@@ -339,12 +281,20 @@ class MscclIr:
                         "type": instr.op.value,
                         "cnt": str(instr.count),
                     }
+                    # Span counts usually equal the instruction count;
+                    # when they differ (variable-size chunks, e.g.
+                    # alltoallv) emit explicit overrides so round-trips
+                    # are lossless instead of silently conflating them.
                     if instr.src is not None:
                         attrs["srcbuf"] = instr.src[0].value
                         attrs["srcoff"] = str(instr.src[1])
+                        if instr.src[2] != instr.count:
+                            attrs["scnt"] = str(instr.src[2])
                     if instr.dst is not None:
                         attrs["dstbuf"] = instr.dst[0].value
                         attrs["dstoff"] = str(instr.dst[1])
+                        if instr.dst[2] != instr.count:
+                            attrs["dcnt"] = str(instr.dst[2])
                     if (instr.frac_lo, instr.frac_hi) != (
                             Fraction(0), Fraction(1)):
                         attrs["flo"] = str(instr.frac_lo)

@@ -18,6 +18,7 @@ from fractions import Fraction
 from typing import Dict, List, Tuple
 
 from .dag import ChunkDAG, ChunkOp
+from .errors import ProgramError
 from .instructions import Instruction, InstructionDAG, Op
 
 Interval = Tuple[Fraction, Fraction]
@@ -154,7 +155,17 @@ def _expand_op(idag: InstructionDAG, tracker: _LocationTracker,
                lo: Fraction, hi: Fraction) -> None:
     """Emit the instruction(s) for one instance of one chunk op."""
     src_rank, src_buffer, src_index, count = op.src
-    dst_rank, dst_buffer, dst_index, _ = op.dst
+    dst_rank, dst_buffer, dst_index, dst_count = op.dst
+    if dst_count != count:
+        # Chunk ops move data element-wise, so both spans must cover
+        # the same number of chunks; anything else would silently
+        # truncate (the old code dropped the dst count on the floor).
+        raise ProgramError(
+            f"chunk op {op.kind!r} moves {count} chunk(s) from rank "
+            f"{src_rank} {src_buffer}[{src_index}] but its destination "
+            f"span on rank {dst_rank} {dst_buffer}[{dst_index}] covers "
+            f"{dst_count}; source and destination counts must match"
+        )
     src_span = (src_buffer, src_index, count)
     dst_span = (dst_buffer, dst_index, count)
     common = dict(

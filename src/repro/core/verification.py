@@ -130,8 +130,77 @@ def dependence_edges(ir: MscclIr,
     return edges
 
 
+def _sent_count(instr) -> int:
+    """Elements an instruction pushes onto its send connection.
+
+    ``rcs``/``rrcs`` forward the value they just stored at ``dst``;
+    plain sends and ``rrs`` forward (a combination with) ``src``.
+    """
+    span = instr.dst if instr.op in (Op.RECV_COPY_SEND,
+                                     Op.RECV_REDUCE_COPY_SEND) else instr.src
+    return span[2] if span is not None else instr.count
+
+
+def _received_count(instr) -> int:
+    """Elements an instruction expects from its recv connection.
+
+    Every receiving op combines or stores the incoming message at
+    ``dst`` except ``rrs``, which reduces it into ``src`` and forwards.
+    """
+    span = instr.src if instr.op is Op.RECV_REDUCE_SEND else instr.dst
+    return span[2] if span is not None else instr.count
+
+
+def check_payload_counts(ir: MscclIr) -> None:
+    """Raise unless every matched send/recv pair moves the same count.
+
+    With variable-size chunks (alltoallv, imported or hand-built IRs)
+    nothing structurally forces the sender's span to be as long as the
+    receiver's; a mismatch would corrupt data silently at the data
+    level, so the audit pins it to the exact connection and sequence
+    number instead.
+    """
+    sends: Dict[Tuple[int, int, int], List] = {}
+    recvs: Dict[Tuple[int, int, int], Dict[int, Tuple]] = {}
+    for gpu in ir.gpus:
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                node = (gpu.rank, tb.tb_id, instr.step)
+                if instr.op in (Op.SEND, Op.RECV_COPY_SEND,
+                                Op.RECV_REDUCE_COPY_SEND,
+                                Op.RECV_REDUCE_SEND):
+                    conn = (gpu.rank, tb.send_peer, tb.channel)
+                    sends.setdefault(conn, []).append(
+                        (node, _sent_count(instr)))
+                if instr.op in (Op.RECV, Op.RECV_REDUCE_COPY,
+                                Op.RECV_COPY_SEND, Op.RECV_REDUCE_COPY_SEND,
+                                Op.RECV_REDUCE_SEND):
+                    conn = (tb.recv_peer, gpu.rank, tb.channel)
+                    if instr.recv_seq is not None:
+                        recvs.setdefault(conn, {})[instr.recv_seq] = (
+                            node, _received_count(instr))
+    mismatches = []
+    for conn, send_list in sends.items():
+        for seq, (send_node, sent) in enumerate(send_list):
+            recv = recvs.get(conn, {}).get(seq)
+            if recv is not None and recv[1] != sent:
+                src, dst, ch = conn
+                mismatches.append(
+                    f"connection {src}->{dst} ch{ch} message {seq}: "
+                    f"send at (rank,tb,step)={send_node} carries {sent} "
+                    f"chunk(s) but recv at {recv[0]} expects {recv[1]}"
+                )
+    if mismatches:
+        preview = "\n  ".join(mismatches[:10])
+        raise VerificationError(
+            f"IR '{ir.name}' has send/recv payload count mismatches:\n  "
+            + preview
+        )
+
+
 def audit_ir(ir: MscclIr, num_slots: int = 8) -> None:
     """Raise on malformed connections or a potential deadlock cycle."""
+    check_payload_counts(ir)
     edges = dependence_edges(ir, num_slots)
 
     Node = Tuple[int, int, int]

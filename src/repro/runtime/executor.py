@@ -168,7 +168,15 @@ class IrExecutor:
                 buffer, canon = self.collective.alias(
                     rank, Buffer.INPUT, index
                 )
-                self.buffers[(rank, buffer)][canon] = inputs[index]
+                store = self.buffers[(rank, buffer)]
+                if canon >= store.shape[0]:
+                    raise VerificationError(
+                        f"collective {self.collective.name!r} places "
+                        f"input chunk {index} at {buffer.value}[{canon}] "
+                        f"on rank {rank}, but the IR declares only "
+                        f"{store.shape[0]} {buffer.value} chunk(s)"
+                    )
+                store[canon] = inputs[index]
 
     # -- element slicing -------------------------------------------------
     def _slice(self, instr) -> slice:
@@ -411,6 +419,19 @@ class IrExecutor:
         node: InstrKey = (rank, tb.tb_id, instr.step)
         self._record_accesses(node, instr)
 
+        # Variable-size chunks make span shapes a real degree of
+        # freedom; catch disagreements as typed errors naming the
+        # instruction instead of relying on numpy broadcasting (which
+        # would *silently* smear a 1-chunk payload across an n-chunk
+        # span).
+        if (instr.src is not None and instr.dst is not None
+                and instr.src[2] != instr.dst[2]):
+            raise VerificationError(
+                f"rank {rank} tb {tb.tb_id} step {instr.step} "
+                f"({op.value}): src span covers {instr.src[2]} chunk(s) "
+                f"but dst span covers {instr.dst[2]}"
+            )
+
         def push(data: np.ndarray) -> None:
             conn = (rank, tb.send_peer, tb.channel)
             seq = self._send_counters.get(conn, 0)
@@ -430,6 +451,15 @@ class IrExecutor:
                 conn, instr.recv_seq,
                 self.push_log.get((conn, instr.recv_seq)), node,
             ))
+            span = instr.src if op is Op.RECV_REDUCE_SEND else instr.dst
+            if span is not None and data.shape[0] != span[2]:
+                raise VerificationError(
+                    f"rank {rank} tb {tb.tb_id} step {instr.step} "
+                    f"({op.value}): message {instr.recv_seq} on "
+                    f"connection {conn[0]}->{conn[1]} ch{conn[2]} "
+                    f"carries {data.shape[0]} chunk(s) but the "
+                    f"instruction's span covers {span[2]}"
+                )
             return data
 
         if op is Op.SEND:
@@ -459,6 +489,10 @@ class IrExecutor:
             # The reduced value is forwarded without a local store.
             push(self._combine(pop(),
                                self._read(rank, instr.src, sl)))
+        elif op is Op.NOP:
+            # Synchronization-only: readiness (depends) was the whole
+            # point; no data moves.
+            pass
         else:  # pragma: no cover - enum is exhaustive
             raise VerificationError(f"unknown opcode {op}")
 
@@ -492,6 +526,12 @@ class IrExecutor:
             rank = gpu.rank
             output = self.buffers[(rank, Buffer.OUTPUT)]
             for index, value in self.collective.postcondition(rank).items():
+                if index >= output.shape[0]:
+                    raise VerificationError(
+                        f"collective {self.collective.name!r} constrains "
+                        f"output[{index}] on rank {rank}, but the IR "
+                        f"declares only {output.shape[0]} output chunk(s)"
+                    )
                 expected = self.expected_chunk(rank, value)
                 actual = output[index]
                 if not np.allclose(actual, expected, rtol=rtol, atol=atol,

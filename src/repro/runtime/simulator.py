@@ -356,8 +356,17 @@ class IrSimulator:
         }
 
     def _instr_bytes(self, instr, chunk_bytes: float, tiles: int) -> float:
+        # Prefer the spans' own counts (they can differ from
+        # ``instr.count`` once chunks are variable-sized, e.g.
+        # alltoallv); a span-less nop moves zero bytes.
+        counts = [span[2] for span in (instr.src, instr.dst)
+                  if span is not None]
+        if counts:
+            count = max(counts)
+        else:
+            count = 0 if instr.op is Op.NOP else instr.count
         frac = float(instr.frac_hi - instr.frac_lo)
-        return chunk_bytes * frac * instr.count / tiles
+        return chunk_bytes * frac * count / tiles
 
     def _tb_process(self, loop: EventLoop, rank: int, tb, tiles: int,
                     chunk_bytes: float, connections, semaphores, engines,

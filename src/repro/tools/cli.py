@@ -20,6 +20,11 @@ Subcommands:
   harness: shuffled-schedule order invariance, executor-vs-simulator
   FIFO cross-checks, a static race scan, and fault plans; prints a
   per-algorithm verdict and exits nonzero on any witness.
+* ``import``   — load a reference-dialect MSCCL XML file (including
+  programs no registered builder produces, e.g. alltoallv), resolve
+  its collective semantics, and feed the same machinery as compiled
+  algorithms: summary, data-level check, timing simulation,
+  conformance, and bottleneck diagnosis.
 
 Example::
 
@@ -378,6 +383,88 @@ def _conform(args) -> int:
     return 1 if failures else 0
 
 
+def _import(args) -> int:
+    import json as _json
+    from pathlib import Path as _Path
+
+    from ..core.errors import MscclError
+    from ..core.interop import import_xml_file, resolve_collective
+
+    try:
+        ir = import_xml_file(args.file)
+    except (OSError, MscclError) as exc:
+        raise SystemExit(f"cannot import {args.file}: {exc}")
+    try:
+        coll = resolve_collective(ir)
+    except MscclError as exc:
+        raise SystemExit(
+            f"cannot resolve collective semantics for {args.file}: {exc}"
+        )
+    payload = {
+        "file": str(args.file),
+        "algorithm": ir.name,
+        "collective": coll.name,
+        "ranks": ir.num_ranks,
+        "protocol": ir.protocol,
+        "threadblocks": ir.threadblock_count(),
+    }
+    if args.format == "xml":
+        print(ir.to_xml())
+    elif args.format == "json":
+        print(ir.to_json(indent=2))
+    else:
+        print(describe_ir(ir))
+        print(f"# resolved collective: {coll.name}", file=sys.stderr)
+
+    if args.check:
+        IrExecutor(ir, coll).run_and_check()
+        payload["check"] = "passed"
+        print("# data check passed", file=sys.stderr)
+
+    topology = generic(ir.num_ranks)
+    size = parse_size(args.size)
+    chunk_bytes = chunk_bytes_for(size, coll.sizing_chunks())
+
+    if args.simulate:
+        result = IrSimulator(ir, topology).run(chunk_bytes=chunk_bytes)
+        payload["simulate"] = {
+            "size_bytes": size,
+            "time_us": result.time_us,
+            "algbw_gbps": result.algbw_gbps(size),
+        }
+        print(f"{ir.name} on {topology!r}")
+        print(f"  buffer: {format_size(size)}  latency: "
+              f"{result.time_us:.1f} us  algbw: "
+              f"{result.algbw_gbps(size):.1f} GB/s  "
+              f"tiles: {result.tiles}")
+
+    if args.diagnose:
+        result = IrSimulator(
+            ir, topology, config=SimConfig(collect_trace=True)
+        ).run(chunk_bytes=chunk_bytes)
+        diag = diagnose(result)
+        print(f"\n== diagnosis ({format_size(size)}) ==")
+        print(diagnose_text(diag, top=args.top))
+        payload["diagnose"] = diagnosis_dict(diag)
+
+    failures = 0
+    if args.conform:
+        from ..conformance import ConformanceConfig, run_conformance
+
+        report = run_conformance(ir, ConformanceConfig(
+            seeds=args.seeds, topology=topology,
+        ), collective=coll)
+        print(report.text())
+        payload["conform"] = report.to_dict()
+        if not report.ok:
+            failures += 1
+
+    if args.json:
+        _Path(args.json).write_text(_json.dumps(payload, indent=2))
+        print(f"# import report written to {args.json}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _report(args) -> int:
     from pathlib import Path
 
@@ -577,6 +664,50 @@ def main(argv: Optional[list] = None) -> int:
              "(default: $REPRO_JOBS or 1)",
     )
     conform_parser.set_defaults(func=_conform)
+
+    import_parser = sub.add_parser(
+        "import",
+        help="load reference-dialect MSCCL XML and check / simulate / "
+             "conform it",
+    )
+    import_parser.add_argument("file", help="path to an MSCCL XML file")
+    import_parser.add_argument(
+        "--format", default="summary",
+        choices=["summary", "xml", "json"],
+        help="how to print the imported IR (default: summary)",
+    )
+    import_parser.add_argument(
+        "--check", action="store_true",
+        help="execute on data and verify against the resolved "
+             "collective's postcondition",
+    )
+    import_parser.add_argument(
+        "--simulate", action="store_true",
+        help="time the program on a generic topology",
+    )
+    import_parser.add_argument(
+        "--conform", action="store_true",
+        help="run the differential conformance harness "
+             "(exit nonzero on any witness)",
+    )
+    import_parser.add_argument(
+        "--diagnose", action="store_true",
+        help="print the dependency-aware bottleneck diagnosis",
+    )
+    import_parser.add_argument("--size", default="1MB")
+    import_parser.add_argument(
+        "--seeds", type=int, default=5,
+        help="shuffled-schedule rounds for --conform",
+    )
+    import_parser.add_argument(
+        "--top", type=int, default=8,
+        help="critical-path intervals printed by --diagnose",
+    )
+    import_parser.add_argument(
+        "--json", default=None,
+        help="write a machine-readable import report to this path",
+    )
+    import_parser.set_defaults(func=_import)
 
     report_parser = sub.add_parser(
         "report", help="assemble the evaluation report from results/"

@@ -1,0 +1,269 @@
+"""Tests for the step-level IR builder (repro.build).
+
+The builder is the programmatic twin of the XML importer: it must
+produce IRs indistinguishable from imported ones (round-trippable,
+auditable, postcondition-verified) and reject structural misuse with
+errors that name the offending step.
+"""
+
+import pytest
+
+from repro.build import IrBuilder, StepRef
+from repro.core import (
+    AllGather,
+    AllToAllV,
+    Buffer,
+    BuildError,
+    CompilerOptions,
+    MSCCLProgram,
+    Op,
+    VerificationError,
+    chunk,
+    compile_program,
+    import_xml,
+)
+from repro.runtime import IrExecutor
+
+
+def _pingpong():
+    """Rank 0 sends its chunk to rank 1, which stores and returns it."""
+    builder = IrBuilder("pingpong", num_ranks=2)
+    g0 = builder.gpu(0, input_chunks=1, output_chunks=1)
+    t0 = g0.threadblock(send=1, recv=1)
+    t0.send("i", 0)
+    t0.recv("o", 0)
+    g1 = builder.gpu(1, input_chunks=1, output_chunks=1)
+    t1 = g1.threadblock(send=0, recv=0)
+    t1.rcs("o", 0)
+    return builder
+
+
+class TestBasics:
+    def test_ops_return_step_refs(self):
+        builder = IrBuilder("x", num_ranks=2)
+        tb = builder.gpu(0, input_chunks=2,
+                         output_chunks=2).threadblock(send=1)
+        first = tb.send("i", 0)
+        second = tb.send("i", 1, depends=())
+        assert first == StepRef(0, 0)
+        assert second == StepRef(0, 1)
+
+    def test_buffer_aliases_normalize(self):
+        builder = _pingpong()
+        ir = builder.build()
+        instr = ir.gpus[0].threadblocks[0].instructions[0]
+        assert instr.src == (Buffer.INPUT, 0, 1)
+
+    def test_pingpong_builds_and_round_trips(self):
+        ir = _pingpong().build()
+        assert import_xml(ir.to_xml()) == ir
+
+    def test_recv_seq_inferred_per_connection(self):
+        builder = IrBuilder("x", num_ranks=2)
+        g0 = builder.gpu(0, input_chunks=2, output_chunks=2)
+        t0 = g0.threadblock(send=1, recv=1)
+        t0.send("i", 0)
+        t0.send("i", 1)
+        t0.recv("o", 0)
+        t0.recv("o", 1)
+        g1 = builder.gpu(1, input_chunks=2, output_chunks=2)
+        t1 = g1.threadblock(send=0, recv=0)
+        t1.rcs("o", 0)
+        t1.rcs("o", 1)
+        ir = builder.build()
+        seqs = [i.recv_seq for i in ir.gpus[0].threadblocks[0].instructions
+                if i.op is Op.RECV]
+        assert seqs == [0, 1]
+
+    def test_scratch_grows_to_cover_use(self):
+        builder = IrBuilder("x", num_ranks=2)
+        g0 = builder.gpu(0, input_chunks=1, output_chunks=1)
+        g0.threadblock().copy("i", 0, "s", 4)
+        builder.gpu(1, input_chunks=1, output_chunks=1)
+        # validate=False: rank 1 is empty and rank 0 writes scratch
+        # nothing reads — structurally fine, semantically nothing.
+        ir = builder.build(validate=False)
+        assert ir.gpus[0].scratch_chunks == 5
+
+    def test_has_dep_computed_from_targets(self):
+        builder = IrBuilder("x", num_ranks=2)
+        g0 = builder.gpu(0, input_chunks=1, output_chunks=1)
+        tb_a = g0.threadblock(send=1)
+        sent = tb_a.send("i", 0)
+        tb_b = g0.threadblock()
+        tb_b.nop(depends=[sent])
+        g1 = builder.gpu(1, input_chunks=1, output_chunks=1)
+        g1.threadblock(recv=0).recv("o", 0)
+        ir = builder.build()
+        assert ir.gpus[0].threadblocks[0].instructions[0].has_dep
+        assert not ir.gpus[0].threadblocks[1].instructions[0].has_dep
+
+
+class TestValidation:
+    def test_send_requires_send_peer(self):
+        tb = IrBuilder("x", num_ranks=2).gpu(
+            0, input_chunks=1, output_chunks=1).threadblock(recv=1)
+        with pytest.raises(BuildError, match="no send peer"):
+            tb.send("i", 0)
+
+    def test_recv_requires_recv_peer(self):
+        tb = IrBuilder("x", num_ranks=2).gpu(
+            0, input_chunks=1, output_chunks=1).threadblock(send=1)
+        with pytest.raises(BuildError, match="no recv peer"):
+            tb.recv("o", 0)
+
+    def test_duplicate_connection_rejected(self):
+        gpu = IrBuilder("x", num_ranks=2).gpu(
+            0, input_chunks=1, output_chunks=1)
+        gpu.threadblock(send=1)
+        with pytest.raises(BuildError, match="already belongs to tb 0"):
+            gpu.threadblock(send=1)
+
+    def test_same_connection_ok_on_other_channel(self):
+        gpu = IrBuilder("x", num_ranks=2).gpu(
+            0, input_chunks=1, output_chunks=1)
+        gpu.threadblock(send=1, chan=0)
+        gpu.threadblock(send=1, chan=1)  # no error
+
+    def test_span_out_of_bounds_names_step(self):
+        builder = IrBuilder("x", num_ranks=1)
+        builder.gpu(0, input_chunks=2,
+                    output_chunks=1).threadblock().copy("i", 1, "o", 0, 2)
+        with pytest.raises(BuildError,
+                           match=r"gpu 0 tb 0 step 0.*exceeds"):
+            builder.build()
+
+    def test_dangling_dependency_rejected(self):
+        builder = IrBuilder("x", num_ranks=1)
+        builder.gpu(0, input_chunks=1,
+                    output_chunks=1).threadblock().nop(depends=[(3, 0)])
+        with pytest.raises(BuildError, match="does not exist"):
+            builder.build()
+
+    def test_same_threadblock_dependency_rejected(self):
+        builder = IrBuilder("x", num_ranks=1)
+        tb = builder.gpu(0, input_chunks=1,
+                         output_chunks=1).threadblock()
+        first = tb.copy("i", 0, "o", 0)
+        tb.nop(depends=[first])
+        with pytest.raises(BuildError, match="own thread block"):
+            builder.build()
+
+    def test_missing_gpu_rejected(self):
+        builder = IrBuilder("x", num_ranks=2)
+        builder.gpu(0, input_chunks=1, output_chunks=1)
+        with pytest.raises(BuildError, match=r"gpu\(s\) \[1\]"):
+            builder.build()
+
+    def test_sizes_required_without_collective(self):
+        builder = IrBuilder("x", num_ranks=1)
+        with pytest.raises(BuildError, match="input_chunks"):
+            builder.gpu(0)
+
+    def test_needs_collective_or_num_ranks(self):
+        with pytest.raises(BuildError, match="num_ranks"):
+            IrBuilder("x")
+
+
+class TestCollectiveVerification:
+    def test_correct_allgather_verifies(self):
+        coll = AllGather(2, chunk_factor=1, in_place=False)
+        builder = IrBuilder("ag", coll)
+        for rank in range(2):
+            gpu = builder.gpu(rank)  # sizes from the collective
+            gpu.threadblock().copy("i", 0, "o", rank)
+            tb = gpu.threadblock(send=1 - rank, recv=1 - rank)
+            tb.send("i", 0)
+            tb.recv("o", 1 - rank)
+        ir = builder.check()  # build + executor run_and_check
+        assert ir.collective == "allgather"
+
+    def test_wrong_program_fails_postcondition(self):
+        coll = AllGather(2, chunk_factor=1, in_place=False)
+        builder = IrBuilder("bad", coll)
+        for rank in range(2):
+            gpu = builder.gpu(rank)
+            # Stores its own chunk in the *wrong* slot.
+            gpu.threadblock().copy("i", 0, "o", 1 - rank)
+            tb = gpu.threadblock(send=1 - rank, recv=1 - rank)
+            tb.send("i", 0)
+            tb.recv("o", rank)
+        with pytest.raises(VerificationError,
+                           match="does not implement allgather"):
+            builder.build()
+
+    def test_mismatched_payload_fails_audit(self):
+        builder = IrBuilder("x", num_ranks=2)
+        g0 = builder.gpu(0, input_chunks=2, output_chunks=2)
+        g0.threadblock(send=1).send("i", 0, 2)
+        g1 = builder.gpu(1, input_chunks=2, output_chunks=2)
+        g1.threadblock(recv=0).recv("o", 0, 1)  # expects 1, gets 2
+        with pytest.raises(VerificationError, match="carries 2 chunk"):
+            builder.build()
+
+    def test_check_requires_collective(self):
+        with pytest.raises(BuildError, match="needs a collective"):
+            _pingpong().check()
+
+    def test_alltoallv_with_collective_defaults(self):
+        counts = [[0, 2], [1, 0]]
+        coll = AllToAllV(counts)
+        builder = IrBuilder("a2av", coll)
+        g0 = builder.gpu(0)
+        t0 = g0.threadblock(send=1, recv=1)
+        t0.send("i", 0, 2)
+        t0.recv("o", 0, 1)
+        g1 = builder.gpu(1)
+        t1 = g1.threadblock(send=0, recv=0)
+        t1.send("i", 0, 1)
+        t1.recv("o", 0, 2)
+        ir = builder.check()
+        assert ir.gpus[0].input_chunks == 2   # sum(counts[0])
+        assert ir.gpus[0].output_chunks == 1  # counts[1][0]
+
+
+class TestFusionChainRegression:
+    """Fusing a recv with a send must respect *transitive* channel
+    chains: two hops whose far ends pin different explicit channels
+    must not fuse into one rcs (the scheduler unions fused chains and
+    would reject the conflicting directives)."""
+
+    def _conflicted_program(self):
+        from repro.core import Custom
+        from repro.core.chunk import InputChunk
+
+        def post(rank):
+            return {0: InputChunk(0, 0)} if rank == 2 else {}
+
+        coll = Custom(3, post, chunk_factor=1, name="relay")
+        with MSCCLProgram("relay", coll) as program:
+            # 0 -> 1 pinned to channel 0; 1 -> 2 pinned to channel 1.
+            via = chunk(0, "in", 0).copy(1, "sc", 0, ch=0)
+            via.copy(2, "out", 0, ch=1)
+        return program
+
+    def test_conflicting_chain_compiles_and_verifies(self):
+        program = self._conflicted_program()
+        algo = compile_program(program, CompilerOptions())
+        IrExecutor(algo.ir, algo.collective).run_and_check()
+        # The relay hop must have stayed unfused: an rcs would have
+        # unioned the ch=0 and ch=1 chains.
+        ops = [i.op for gpu in algo.ir.gpus for tb in gpu.threadblocks
+               for i in tb.instructions]
+        assert Op.RECV_COPY_SEND not in ops
+
+    def test_compatible_chain_still_fuses(self):
+        from repro.core import Custom
+        from repro.core.chunk import InputChunk
+
+        def post(rank):
+            return {0: InputChunk(0, 0)} if rank == 2 else {}
+
+        coll = Custom(3, post, chunk_factor=1, name="relay")
+        with MSCCLProgram("relay_ok", coll) as program:
+            via = chunk(0, "in", 0).copy(1, "sc", 0, ch=0)
+            via.copy(2, "out", 0, ch=0)  # same directive: fusible
+        algo = compile_program(program, CompilerOptions())
+        ops = [i.op for gpu in algo.ir.gpus for tb in gpu.threadblocks
+               for i in tb.instructions]
+        assert Op.RECV_COPY_SEND in ops

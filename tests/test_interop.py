@@ -1,0 +1,390 @@
+"""Tests for the XML/dict interchange layer (repro.core.interop).
+
+Covers the reference-dialect importer (short buffer names, op aliases,
+``-1`` sentinels, named parse errors), lossless round-trips as
+hypothesis properties over randomly generated IRs, collective
+resolution (by name and by tracing), and the alltoallv acceptance
+path: a builder-authored program and a reference-dialect XML import
+must both verify, simulate, and conform.
+"""
+
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.build import IrBuilder
+from repro.conformance import run_conformance
+from repro.core import (
+    AllGather,
+    AllReduce,
+    AllToAllV,
+    Buffer,
+    CompilerOptions,
+    MscclIr,
+    Op,
+    XmlImportError,
+    collective_from_name,
+    compile_program,
+    import_xml,
+    import_xml_file,
+    infer_collective,
+    resolve_collective,
+    trace_ir,
+)
+from repro.core.chunk import InputChunk
+from repro.core.instructions import RECEIVING_OPS, SENDING_OPS
+from repro.core.ir import GpuProgram, IrInstruction, ThreadBlock
+from repro.runtime import IrExecutor, IrSimulator
+from repro.topology import generic
+from tests.conftest import build_ring_allreduce
+
+XML_DIR = Path(__file__).resolve().parents[1] / "examples" / "xml"
+
+
+# -- a strategy for structurally valid IRs --------------------------------
+
+_fractions = st.builds(
+    lambda n, d: Fraction(n % (d + 1), d),
+    st.integers(0, 8), st.integers(1, 8),
+)
+
+
+@st.composite
+def _instruction(draw, tb, sizes, dep_pool):
+    """One instruction whose op fits ``tb``'s peers and whose spans fit
+    the gpu's declared buffer ``sizes``."""
+    ops = [Op.COPY, Op.REDUCE, Op.NOP]
+    if tb.send_peer is not None:
+        ops.append(Op.SEND)
+    if tb.recv_peer is not None:
+        ops += [Op.RECV, Op.RECV_REDUCE_COPY]
+        if tb.send_peer is not None:
+            ops += [Op.RECV_COPY_SEND, Op.RECV_REDUCE_COPY_SEND,
+                    Op.RECV_REDUCE_SEND]
+    op = draw(st.sampled_from(ops))
+
+    def span():
+        buffers = [b for b in (Buffer.INPUT, Buffer.OUTPUT, Buffer.SCRATCH)
+                   if sizes[b] > 0]
+        buf = draw(st.sampled_from(buffers))
+        count = draw(st.integers(1, sizes[buf]))
+        index = draw(st.integers(0, sizes[buf] - count))
+        return (buf, index, count)
+
+    uses_src = op in (Op.COPY, Op.REDUCE, Op.SEND, Op.RECV_REDUCE_COPY,
+                      Op.RECV_REDUCE_COPY_SEND, Op.RECV_REDUCE_SEND)
+    uses_dst = op in (Op.COPY, Op.REDUCE, Op.RECV, Op.RECV_REDUCE_COPY,
+                      Op.RECV_COPY_SEND, Op.RECV_REDUCE_COPY_SEND)
+    src = span() if uses_src else None
+    dst = span() if uses_dst else None
+    counts = [s[2] for s in (src, dst) if s is not None]
+    lo = draw(_fractions)
+    hi = draw(_fractions)
+    if hi < lo:
+        lo, hi = hi, lo
+    lineage = None
+    if draw(st.booleans()):
+        lineage = tuple(sorted(draw(st.sets(
+            st.tuples(st.integers(0, 3),
+                      st.sampled_from(["input", "output", "scratch"]),
+                      st.integers(0, 7)),
+            min_size=1, max_size=3,
+        ))))
+    depends = sorted(draw(st.sets(st.sampled_from(dep_pool),
+                                  max_size=2))) if dep_pool else []
+    return IrInstruction(
+        step=0,  # renumbered by the caller
+        op=op,
+        src=src,
+        dst=dst,
+        count=max(counts) if counts else 1,
+        frac_lo=lo,
+        frac_hi=hi if hi > lo else lo + Fraction(1, 8),
+        depends=depends,
+        lineage=lineage,
+    )
+
+
+@st.composite
+def irs(draw):
+    """Random IRs satisfying the importer's structural invariants:
+    contiguous steps, one thread block per directed connection,
+    consistent has_dep flags, program-order recv_seq tags."""
+    num_ranks = draw(st.integers(2, 3))
+    ir = MscclIr(
+        name="generated",
+        collective=draw(st.sampled_from(["custom", "allreduce"])),
+        protocol=draw(st.sampled_from(["Simple", "LL"])),
+        num_ranks=num_ranks,
+        in_place=draw(st.booleans()),
+    )
+    for rank in range(num_ranks):
+        sizes = {
+            Buffer.INPUT: draw(st.integers(1, 5)),
+            Buffer.OUTPUT: draw(st.integers(1, 5)),
+            Buffer.SCRATCH: draw(st.integers(0, 3)),
+        }
+        gpu = GpuProgram(rank=rank, input_chunks=sizes[Buffer.INPUT],
+                         output_chunks=sizes[Buffer.OUTPUT],
+                         scratch_chunks=sizes[Buffer.SCRATCH])
+        peers = [p for p in range(num_ranks) if p != rank]
+        used = set()
+        dep_pool = []
+        for tb_id in range(draw(st.integers(1, 3))):
+            send = draw(st.sampled_from([None] + peers))
+            recv = draw(st.sampled_from([None] + peers))
+            chan = draw(st.integers(0, 1))
+            key_s, key_r = ("s", send, chan), ("r", recv, chan)
+            if (send is not None and key_s in used) or \
+                    (recv is not None and key_r in used):
+                continue
+            used.update({key_s, key_r})
+            tb = ThreadBlock(tb_id=len(gpu.threadblocks),
+                             send_peer=send, recv_peer=recv, channel=chan)
+            for _ in range(draw(st.integers(1, 3))):
+                instr = draw(_instruction(tb, sizes, dep_pool))
+                instr.step = len(tb.instructions)
+                tb.instructions.append(instr)
+            dep_pool += [(tb.tb_id, i.step) for i in tb.instructions]
+            gpu.threadblocks.append(tb)
+        # Drop self-thread-block deps the pool construction allowed.
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                instr.depends = [d for d in instr.depends
+                                 if d[0] != tb.tb_id]
+        # recv_seq: program order per connection; has_dep: targets.
+        by_conn = {}
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                if instr.op in RECEIVING_OPS:
+                    conn = (tb.recv_peer, tb.channel)
+                    instr.recv_seq = by_conn.get(conn, 0)
+                    by_conn[conn] = instr.recv_seq + 1
+        targets = {tuple(d) for tb in gpu.threadblocks
+                   for i in tb.instructions for d in i.depends}
+        for tb in gpu.threadblocks:
+            for instr in tb.instructions:
+                instr.has_dep = (tb.tb_id, instr.step) in targets
+        ir.gpus.append(gpu)
+    return ir
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(irs())
+    def test_xml_round_trip(self, ir):
+        assert import_xml(ir.to_xml()) == ir
+
+    @settings(max_examples=60, deadline=None)
+    @given(irs())
+    def test_dict_round_trip(self, ir):
+        assert MscclIr.from_dict(ir.to_dict()) == ir
+
+    def test_compiled_ir_round_trips(self):
+        algo = compile_program(build_ring_allreduce(4, instances=2),
+                               CompilerOptions())
+        assert import_xml(algo.ir.to_xml()) == algo.ir
+        assert MscclIr.from_dict(algo.ir.to_dict()) == algo.ir
+
+    def test_mismatched_span_counts_survive_xml(self):
+        # The dst-span count must not collapse into the src count: a
+        # send carrying 1 chunk into a 2-chunk landing zone round-trips.
+        ir = MscclIr(name="x", collective="custom", protocol="Simple",
+                     num_ranks=1, in_place=False)
+        gpu = GpuProgram(rank=0, input_chunks=2, output_chunks=2,
+                         scratch_chunks=0)
+        tb = ThreadBlock(tb_id=0)
+        tb.instructions.append(IrInstruction(
+            step=0, op=Op.COPY, src=(Buffer.INPUT, 0, 1),
+            dst=(Buffer.OUTPUT, 0, 2), count=2,
+        ))
+        gpu.threadblocks.append(tb)
+        ir.gpus.append(gpu)
+        back = import_xml(ir.to_xml())
+        instr = back.gpus[0].threadblocks[0].instructions[0]
+        assert instr.src == (Buffer.INPUT, 0, 1)
+        assert instr.dst == (Buffer.OUTPUT, 0, 2)
+
+
+REFERENCE_XML = """
+<algo name="pingpong" proto="Simple" nchannels="1" ngpus="2"
+      coll="custom" inplace="0">
+  <gpu id="0" i_chunks="1" o_chunks="1" s_chunks="0">
+    <tb id="0" send="1" recv="1" chan="0">
+      <step s="0" type="s" srcbuf="i" srcoff="0" cnt="1"
+            depid="-1" deps="-1" hasdep="0"/>
+      <step s="1" type="r" dstbuf="o" dstoff="0" cnt="1"
+            depid="-1" deps="-1" hasdep="1"/>
+    </tb>
+    <tb id="1" send="-1" recv="-1" chan="0">
+      <step s="0" type="nop" depid="0" deps="1" hasdep="0"/>
+    </tb>
+  </gpu>
+  <gpu id="1" i_chunks="1" o_chunks="1" s_chunks="0">
+    <tb id="0" send="0" recv="0" chan="0">
+      <step s="0" type="rcs" dstbuf="o" dstoff="0" cnt="1"
+            depid="-1" deps="-1" hasdep="0"/>
+    </tb>
+  </gpu>
+</algo>
+"""
+
+
+class TestReferenceDialect:
+    def test_imports_reference_features(self):
+        ir = import_xml(REFERENCE_XML)
+        assert ir.num_ranks == 2
+        tb0 = ir.gpus[0].threadblocks[0]
+        assert tb0.instructions[0].op is Op.SEND
+        assert tb0.instructions[0].src == (Buffer.INPUT, 0, 1)
+        assert tb0.instructions[1].op is Op.RECV
+        assert tb0.instructions[1].has_dep  # explicit hasdep="1"
+        nop = ir.gpus[0].threadblocks[1].instructions[0]
+        assert nop.op is Op.NOP
+        assert nop.depends == [(0, 1)]
+        assert ir.gpus[1].threadblocks[0].instructions[0].op \
+            is Op.RECV_COPY_SEND
+
+    def test_traces_to_pingpong_semantics(self):
+        outputs = trace_ir(import_xml(REFERENCE_XML))
+        assert outputs[1][0] == InputChunk(0, 0)  # gpu1 stored the chunk
+        assert outputs[0][0] == InputChunk(0, 0)  # ...and bounced it back
+
+    def test_long_op_aliases_and_buffer_names(self):
+        xml = REFERENCE_XML.replace('type="s"', 'type="send"') \
+                           .replace('type="r" ', 'type="recv" ') \
+                           .replace('srcbuf="i"', 'srcbuf="input"') \
+                           .replace('dstbuf="o"', 'dstbuf="out"')
+        assert import_xml(xml) == import_xml(REFERENCE_XML)
+
+    def test_recv_seq_inferred_in_program_order(self):
+        ir = import_xml(REFERENCE_XML)
+        # Exactly one receive per connection here: both get seq 0.
+        assert ir.gpus[0].threadblocks[0].instructions[1].recv_seq == 0
+        assert ir.gpus[1].threadblocks[0].instructions[0].recv_seq == 0
+
+    @pytest.mark.parametrize("mutation, fragment", [
+        # missing required attribute, named
+        (lambda x: x.replace(' srcoff="0"', "", 1), "srcoff"),
+        # non-integer attribute, named
+        (lambda x: x.replace('cnt="1"', 'cnt="many"', 1), "cnt"),
+        # unknown op name
+        (lambda x: x.replace('type="rcs"', 'type="warp"'), "warp"),
+        # bad root element
+        (lambda x: x.replace("algo", "algorithm"), "algo"),
+        # dep attributes must come in pairs
+        (lambda x: x.replace('depid="0" deps="1"', 'depid="0"'), "deps"),
+    ])
+    def test_malformed_inputs_name_the_problem(self, mutation, fragment):
+        with pytest.raises(XmlImportError) as excinfo:
+            import_xml(mutation(REFERENCE_XML))
+        assert fragment in str(excinfo.value)
+
+    def test_duplicate_gpu_id_rejected(self):
+        xml = REFERENCE_XML.replace('<gpu id="1"', '<gpu id="0"')
+        with pytest.raises(XmlImportError, match="duplicate gpu id"):
+            import_xml(xml)
+
+    def test_not_xml_rejected(self):
+        with pytest.raises(XmlImportError, match="not well-formed"):
+            import_xml("{json?}")
+
+
+class TestCollectiveResolution:
+    def test_named_collective_reconstructed(self):
+        algo = compile_program(build_ring_allreduce(4), CompilerOptions())
+        coll = collective_from_name(algo.ir)
+        assert isinstance(coll, AllReduce)
+        assert coll.num_ranks == 4
+
+    def test_unknown_name_falls_back_to_tracing(self):
+        ir = import_xml(REFERENCE_XML)
+        assert collective_from_name(ir) is None
+        coll = resolve_collective(ir)
+        assert coll.postcondition(1) == {0: InputChunk(0, 0)}
+
+    def test_inferred_collective_checks_in_executor(self):
+        ir = import_xml(REFERENCE_XML)
+        IrExecutor(ir, infer_collective(ir)).run_and_check()
+
+
+class TestSampleFiles:
+    """The checked-in examples/xml files stay importable and correct."""
+
+    @pytest.mark.parametrize("name", ["alltoallv_3gpu.xml",
+                                      "allgather_ring_3gpu.xml"])
+    def test_sample_imports_and_checks(self, name):
+        ir = import_xml_file(XML_DIR / name)
+        coll = resolve_collective(ir)
+        IrExecutor(ir, coll).run_and_check()
+
+    def test_allgather_sample_resolves_named_collective(self):
+        ir = import_xml_file(XML_DIR / "allgather_ring_3gpu.xml")
+        assert isinstance(resolve_collective(ir), AllGather)
+
+
+class TestAllToAllVAcceptance:
+    """The issue's acceptance path: one program authored twice —
+    via repro.build and as reference-dialect XML — produces identical
+    postcondition-verified results in executor and simulator, and both
+    pass the differential conformance harness."""
+
+    COUNTS = [[1, 2, 1], [3, 1, 2], [1, 1, 1]]
+
+    def _built_ir(self):
+        coll = AllToAllV(self.COUNTS)
+        builder = IrBuilder("alltoallv_skewed", coll)
+        for rank in range(3):
+            gpu = builder.gpu(rank)
+            gpu.threadblock().copy(
+                "i", coll.send_offset(rank, rank),
+                "o", coll.recv_offset(rank, rank),
+                self.COUNTS[rank][rank])
+            for peer in (p for p in range(3) if p != rank):
+                tb = gpu.threadblock(send=peer, recv=peer)
+                tb.send("i", coll.send_offset(rank, peer),
+                        self.COUNTS[rank][peer])
+                tb.recv("o", coll.recv_offset(peer, rank),
+                        self.COUNTS[peer][rank])
+        return builder.build(), coll
+
+    def _imported_ir(self):
+        return import_xml_file(XML_DIR / "alltoallv_3gpu.xml")
+
+    def test_identical_verified_outputs(self):
+        built, coll = self._built_ir()
+        imported = self._imported_ir()
+        results = []
+        for ir in (built, imported):
+            executor = IrExecutor(ir, coll, seed=7)
+            executor.run_and_check()
+            results.append({rank: executor.buffers[(rank, Buffer.OUTPUT)]
+                            for rank in range(3)})
+        for rank in range(3):
+            assert (results[0][rank] == results[1][rank]).all()
+
+    def test_both_simulate(self):
+        built, _ = self._built_ir()
+        imported = self._imported_ir()
+        topo = generic(3)
+        t_built = IrSimulator(built, topo).run(chunk_bytes=4096).time_us
+        t_imported = IrSimulator(imported, topo).run(
+            chunk_bytes=4096).time_us
+        assert t_built > 0 and t_imported > 0
+
+    def test_both_conform(self):
+        built, coll = self._built_ir()
+        imported = self._imported_ir()
+        assert run_conformance(built, collective=coll).ok
+        # The imported copy resolves its own oracle from the traced
+        # semantics — no collective handed in.
+        assert run_conformance(imported).ok
+
+    def test_traced_oracle_matches_alltoallv(self):
+        coll = AllToAllV(self.COUNTS)
+        imported = self._imported_ir()
+        outputs = trace_ir(imported)
+        for rank in range(3):
+            assert outputs[rank] == coll.postcondition(rank)
