@@ -16,6 +16,10 @@ two runtimes against each other:
   :class:`~repro.observe.ExecutionGraph`; a pop with no matching edge
   means the two runtimes disagree about the message pairing — a race
   witness.
+* **Engine parity** — the simulator's batched event loop must produce
+  a bitwise-identical :class:`~repro.runtime.SimResult` (and the same
+  happens-before projection) as the reference generator loop on this
+  IR; any divergence is an ``engine-parity`` witness.
 * **Race scan** — conflicting buffer accesses unordered by the IR's
   dependence graph (:mod:`repro.conformance.races`), which names the
   exact racing instruction pair.
@@ -45,7 +49,8 @@ from ..core.errors import (ConformanceError, DeadlockError, MscclError,
 from ..core.ir import MscclIr
 from ..core.verification import audit_ir
 from ..runtime.executor import FaultPlan, IrExecutor
-from ..runtime.simulator import IrSimulator, happens_before_pairs
+from ..runtime.simulator import (IrSimulator, SimConfig,
+                                 happens_before_pairs, sim_parity_diffs)
 from ..topology import generic
 from .races import find_races
 from .witness import (ConformanceReport, TbKey, Witness, displaced_blocks,
@@ -61,6 +66,7 @@ class ConformanceConfig:
     data_seed: int = 1234  # input data; fixed so outputs are comparable
     check_order_invariance: bool = True
     check_fifo_edges: bool = True
+    check_engine_parity: bool = True
     check_races: bool = True
     inject_faults: bool = True
     topology: Optional[object] = field(default=None, repr=False)
@@ -224,6 +230,30 @@ def run_conformance(algo, config: Optional[ConformanceConfig] = None, *,
         graph = IrSimulator(ir, topology).execution_graph()
         fifo_pairs = happens_before_pairs(graph)["fifo"]
         _check_pops(base, fifo_pairs, report, seed=None, full=full)
+
+    # -- batched vs reference simulator engine parity ------------------
+    # The batched event loop's contract is bitwise identity with the
+    # reference loop; check it on this IR so every algorithm that goes
+    # through conformance also certifies the engine rewrite.
+    if cfg.check_engine_parity:
+        topology = cfg.topology or generic(ir.num_ranks, 1)
+        report.add_round("engine-parity")
+        runs = {}
+        for engine in ("batched", "reference"):
+            sim = IrSimulator(ir, topology, None,
+                              SimConfig(engine=engine,
+                                        collect_trace=True))
+            runs[engine] = sim.run(chunk_bytes=65536.0)
+        diffs = sim_parity_diffs(runs["batched"], runs["reference"],
+                                 labels=("batched", "reference"))
+        if not diffs and (
+                happens_before_pairs(runs["batched"].graph)
+                != happens_before_pairs(runs["reference"].graph)):
+            diffs = ["engines disagree on the happens-before "
+                     "projection of the execution graph"]
+        for diff in diffs:
+            if not full():
+                report.witnesses.append(Witness("engine-parity", diff))
 
     def run_with(perm, faults=None) -> IrExecutor:
         executor = new_executor()

@@ -158,6 +158,49 @@ class ExecutionGraph:
         self.launch_us = launch_us
         self._path = None
 
+    # -- parity fingerprints -----------------------------------------------
+    def node_fingerprints(self) -> Dict[NodeKey, tuple]:
+        """Per-node structural digests (op, timing, segment tiling).
+
+        Two recordings of the same instruction occurrence agree on its
+        fingerprint iff they recorded the same op, payload, interval,
+        and segment breakdown — including each segment's cause node and
+        message-detail dict.
+        """
+        return {
+            key: (
+                node.op, node.channel, node.nbytes, node.start_us,
+                node.end_us,
+                tuple(_segment_fingerprint(seg)
+                      for seg in node.segments or ()),
+                node.lineage,
+            )
+            for key, node in self.nodes.items()
+        }
+
+    def fingerprint(self) -> tuple:
+        """A structural digest of the whole recorded execution.
+
+        Two traced runs agree on this tuple iff they recorded the same
+        nodes (with identical segment tilings), the same edge set with
+        the same timestamps, and the same finalize totals — the bitwise
+        equality contract the batched simulator engine's parity suite
+        asserts against the reference event loop. Edges are compared as
+        a canonically ordered set because the two engines may append
+        them in different relative orders across thread blocks (heap
+        tie-breaks) while recording identical graphs.
+        """
+        return (
+            tuple(sorted(self.node_fingerprints().items())),
+            tuple(sorted(
+                ((edge.kind, edge.src, edge.dst, edge.t_us)
+                 for edge in self.edges),
+                key=_edge_sort_key,
+            )),
+            self.elapsed_us,
+            self.launch_us,
+        )
+
     # -- structure queries -------------------------------------------------
     def iter_program_edges(self) -> Iterator[Tuple[NodeKey, NodeKey]]:
         """Same-thread-block program-order edges (implicit in keys)."""
@@ -318,3 +361,18 @@ class ExecutionGraph:
     def path_total_us(self) -> float:
         """Total attributed time (equals ``elapsed_us`` up to epsilon)."""
         return sum(step.duration_us for step in self.critical_path())
+
+
+def _segment_fingerprint(seg: Segment) -> tuple:
+    """Hash-/compare-friendly view of one segment (for parity checks)."""
+    detail = seg.detail
+    return (
+        seg.kind, seg.start_us, seg.end_us, seg.cause,
+        None if detail is None else tuple(sorted(detail.items())),
+    )
+
+
+def _edge_sort_key(edge_tuple: tuple) -> tuple:
+    """Total order over edge tuples; ``src`` may be ``None``."""
+    kind, src, dst, t_us = edge_tuple
+    return (kind, src if src is not None else (), dst, t_us)

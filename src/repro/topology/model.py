@@ -60,8 +60,7 @@ class MachineSpec:
 class Resource:
     """A FCFS bandwidth server (an NVLink port, a NIC, a copy engine)."""
 
-    __slots__ = ("name", "bandwidth", "next_free", "busy_time",
-                 "last_queue_us", "last_service_us")
+    __slots__ = ("name", "bandwidth", "next_free", "busy_time")
 
     def __init__(self, name: str, bandwidth_gbps: float):
         if bandwidth_gbps <= 0:
@@ -72,11 +71,6 @@ class Resource:
         self.bandwidth = bandwidth_gbps * _GBPS_TO_BYTES_PER_US
         self.next_free = 0.0
         self.busy_time = 0.0
-        # Breakdown of the most recent reserve(): how long the request
-        # queued behind earlier traffic, and its own service time. Read
-        # by the simulator's execution-graph recording.
-        self.last_queue_us = 0.0
-        self.last_service_us = 0.0
 
     def reserve(self, now: float, nbytes: float,
                 efficiency: float = 1.0,
@@ -87,19 +81,28 @@ class Resource:
         order at ``bandwidth * efficiency``, each costing an extra
         ``overhead`` microseconds of occupancy (per-message cost).
         """
+        return self.reserve_timed(now, nbytes, efficiency, overhead)[0]
+
+    def reserve_timed(self, now: float, nbytes: float,
+                      efficiency: float = 1.0,
+                      overhead: float = 0.0
+                      ) -> Tuple[float, float, float]:
+        """:meth:`reserve`, returning ``(finish, queue_us, service_us)``.
+
+        The queueing/service breakdown is returned to the caller rather
+        than parked in per-resource scratch attributes, so overlapping
+        reservations issued by a batched caller cannot clobber each
+        other's accounting.
+        """
         start = max(now, self.next_free)
         duration = nbytes / (self.bandwidth * efficiency) + overhead
         self.next_free = start + duration
         self.busy_time += duration
-        self.last_queue_us = start - now
-        self.last_service_us = duration
-        return self.next_free
+        return self.next_free, start - now, duration
 
     def reset(self) -> None:
         self.next_free = 0.0
         self.busy_time = 0.0
-        self.last_queue_us = 0.0
-        self.last_service_us = 0.0
 
 
 class Topology:

@@ -16,8 +16,11 @@ from repro.conformance import (
 )
 from repro.conformance.witness import ConformanceReport, Witness
 from repro.core import CompilerOptions, ConformanceError, compile_program
+from repro.core.errors import SimulationError
 from repro.algorithms import allpairs_allreduce
+from repro.runtime import IrSimulator, SimConfig
 from repro.tools.cli import main as cli_main
+from repro.topology import generic
 from tests.conftest import build_ring_allreduce
 
 
@@ -61,6 +64,7 @@ class TestCleanAlgorithms:
         assert report.rounds["race-scan"] == 1
         assert report.rounds["pop-check"] > 0
         assert report.rounds["faults"] > 0
+        assert report.rounds["engine-parity"] == 1
 
     def test_allpairs_conforms(self, allpairs4):
         report = run_conformance(allpairs4)
@@ -152,6 +156,60 @@ class TestRaceScan:
         assert "rank" in location and "[" in location
 
 
+class TestEngineParity:
+    """The harness certifies the batched simulator engine per IR."""
+
+    def test_parity_round_passes_on_clean_ir(self, ring4):
+        algo = compile_program(ring4, CompilerOptions())
+        report = run_conformance(algo, ConformanceConfig(
+            seeds=1, check_races=False, inject_faults=False,
+        ))
+        assert report.ok, report.text()
+        assert report.rounds["engine-parity"] == 1
+        assert not [w for w in report.witnesses
+                    if w.kind == "engine-parity"]
+
+    def test_parity_round_covers_allpairs(self, allpairs4):
+        report = run_conformance(allpairs4, ConformanceConfig(
+            seeds=1, check_races=False, inject_faults=False,
+        ))
+        assert report.rounds["engine-parity"] == 1
+        assert not [w for w in report.witnesses
+                    if w.kind == "engine-parity"], report.text()
+
+
+class TestDegradationValidation:
+    """A fault plan that silently matches nothing must raise.
+
+    A typo'd prefix used to run a fault-free simulation and report
+    healthy numbers — the worst failure mode for a degradation study.
+    """
+
+    def _sim(self, ring4, degradations):
+        algo = compile_program(ring4, CompilerOptions())
+        return IrSimulator(algo.ir, generic(4),
+                           config=SimConfig(degradations=degradations))
+
+    def test_unmatched_prefix_raises_naming_it(self, ring4):
+        sim = self._sim(ring4, {"nic_out[9,9]": 0.1})
+        with pytest.raises(SimulationError,
+                           match=r"nic_out\[9,9\]") as excinfo:
+            sim.run(chunk_bytes=65536.0)
+        # The error teaches: it lists resources the run did consult.
+        assert "nvlink_out[0]" in str(excinfo.value)
+
+    def test_empty_prefix_rejected_before_running(self, ring4):
+        sim = self._sim(ring4, {"": 0.5})
+        with pytest.raises(SimulationError, match="empty-string"):
+            sim.run(chunk_bytes=65536.0)
+
+    def test_matched_prefix_still_degrades(self, ring4):
+        healthy = self._sim(ring4, {}).run(chunk_bytes=65536.0)
+        degraded = self._sim(ring4, {"nvlink_out[0]": 0.05}).run(
+            chunk_bytes=65536.0)
+        assert degraded.time_us > healthy.time_us
+
+
 class TestScheduleTools:
     BASE = [(0, 0), (0, 1), (1, 0), (1, 1)]
 
@@ -230,12 +288,13 @@ class TestReportAndDiagnosis:
         algo = compile_program(ring4, CompilerOptions())
         report = run_conformance(algo, ConformanceConfig(
             seeds=2, check_fifo_edges=False, check_races=False,
-            inject_faults=False,
+            check_engine_parity=False, inject_faults=False,
         ))
         assert report.ok
         assert "pop-check" not in report.rounds
         assert "race-scan" not in report.rounds
         assert "faults" not in report.rounds
+        assert "engine-parity" not in report.rounds
         assert report.rounds["order"] == 2
 
 

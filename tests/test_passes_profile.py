@@ -14,7 +14,7 @@ from repro.core import (
     prune_redundant_deps,
     renumber_channels,
 )
-from repro.core.errors import RuntimeConfigError
+from repro.core.errors import RuntimeConfigError, SimulationError
 from repro.runtime import (
     IrExecutor,
     IrSimulator,
@@ -204,13 +204,13 @@ class TestFaultInjection:
                                "nic_out[0,3]")
         assert naive_hit > striped_hit
 
-    def test_unmatched_prefix_is_noop(self):
+    def test_unmatched_prefix_raises(self):
+        # A typo'd prefix used to silently run a fault-free simulation;
+        # now the run completes and then reports the dead prefix.
         program = build_ring_allreduce(4)
         ir = compile_program(program)
-        plain = IrSimulator(ir, generic(4, 1)).run(
-            chunk_bytes=MiB).time_us
-        noop = IrSimulator(
-            ir, generic(4, 1),
-            config=SimConfig(degradations={"nic_out[9,9]": 0.01}),
-        ).run(chunk_bytes=MiB).time_us
-        assert plain == noop
+        with pytest.raises(SimulationError, match=r"nic_out\[9,9\]"):
+            IrSimulator(
+                ir, generic(4, 1),
+                config=SimConfig(degradations={"nic_out[9,9]": 0.01}),
+            ).run(chunk_bytes=MiB)
