@@ -1,0 +1,325 @@
+"""Plan-service load benchmark: warm serving vs cold in-process compile.
+
+Drives a real :class:`repro.serve.PlanService` over TCP with a swarm of
+concurrent clients (default 1000 connections x 4 requests) drawing from
+a seeded mixed workload — several plan families across collectives,
+topologies, and sizes — then measures three things ISSUE 10 tracks:
+
+* ``cold_compile`` — the in-process baseline: tracing and compiling the
+  probe plan (hierarchical allreduce, 2 nodes x 8 GPUs on NDv4) with
+  the compile cache disabled, median of ``--repeats`` runs. This is
+  what every caller pays without the service.
+* ``burst`` — p50/p99 request latency and throughput under the
+  concurrent swarm, plus the service-side hit/dedup/promotion counters
+  the burst produced. The first requests of each family are cold and
+  deduplicate in flight; the rest are plan-table hits.
+* ``warm_probe`` — p50/p99 of sequential requests for the probe plan on
+  one quiet connection once the table is warm and tuned. The headline
+  ``speedup`` is cold_compile over warm p50; ``--assert-speedup X``
+  fails the process below X (the acceptance bar is 100).
+
+``--assert-dedup N`` / ``--assert-disk-hits N`` fail unless the run saw
+at least N in-flight deduplications / disk-tier cache hits — the CI
+smoke job's knobs (its second run shares REPRO_CACHE_DIR with the
+first, so every cold family compile must come back from disk).
+``--out FILE`` writes the JSON report (default
+``benchmarks/results/BENCH_serve.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core.compiler import CompilerOptions, compile_program
+from repro.observe.metrics import metrics_dict
+from repro.serve import PlanClient, PlanService, PlanServiceError
+from repro.serve.service import COLLECTIVES
+from repro.serve.stats import reset_serve_stats
+from repro.topology import presets
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+DEFAULT_OUT = RESULTS_DIR / "BENCH_serve.json"
+
+KiB = 1024
+MiB = 1024 * 1024
+
+# The probe family the speedup headline is measured on: the heaviest
+# default plan the service compiles (hierarchical allreduce across
+# four NDv4 nodes, 32 ranks — ~200ms to trace+compile cold).
+PROBE = {"collective": "allreduce", "topology": "ndv4", "nodes": 4}
+
+# The mixed workload the swarm draws from; a handful of families so
+# in-flight dedup and table hits both show up at scale.
+FAMILIES = (
+    {"collective": "allreduce", "topology": "ndv4", "nodes": 1},
+    {"collective": "allreduce", "topology": "ndv4", "nodes": 2},
+    {"collective": "allreduce", "topology": "ndv4", "nodes": 4},
+    {"collective": "allgather", "topology": "ndv4", "nodes": 1},
+    {"collective": "reducescatter", "topology": "ndv4", "nodes": 1},
+    {"collective": "alltoall", "topology": "ndv4", "nodes": 1},
+    {"collective": "broadcast", "topology": "dgx1", "nodes": 1},
+)
+SIZES = tuple(32 * KiB * (1 << i) for i in range(11))  # 32 KiB..32 MiB
+
+# Socket cap for the swarm: every client coroutine exists at once, but
+# at most this many connections are open simultaneously.
+MAX_OPEN_CONNECTIONS = 512
+
+
+def _percentile(samples, q: float) -> float:
+    ranked = sorted(samples)
+    if not ranked:
+        return float("nan")
+    index = min(len(ranked) - 1, int(round(q * (len(ranked) - 1))))
+    return ranked[index]
+
+
+def cold_compile_baseline(repeats: int) -> dict:
+    """Median wall time of trace+compile for the probe plan, no cache."""
+    topology = presets.ndv4(PROBE["nodes"])
+    runs = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        program = COLLECTIVES[PROBE["collective"]](
+            PROBE["nodes"], topology.machine.gpus_per_node,
+            channels=1, instances=1, protocol="Simple")
+        compile_program(program, CompilerOptions(
+            max_threadblocks=topology.machine.sm_count, cache=None))
+        runs.append(time.perf_counter() - t0)
+    return {
+        "plan": dict(PROBE),
+        "repeats": repeats,
+        "runs_s": [round(r, 6) for r in runs],
+        "median_s": statistics.median(runs),
+    }
+
+
+async def _client_worker(host, port, rng_seed, requests, semaphore,
+                         latencies, errors):
+    rng = random.Random(rng_seed)
+    async with semaphore:
+        try:
+            async with PlanClient(host, port) as client:
+                for _ in range(requests):
+                    family = rng.choice(FAMILIES)
+                    size = rng.choice(SIZES)
+                    t0 = time.perf_counter()
+                    await client.plan(
+                        family["collective"], size,
+                        topology=family["topology"],
+                        nodes=family["nodes"], include_xml=False)
+                    latencies.append(time.perf_counter() - t0)
+        except (PlanServiceError, OSError) as error:
+            errors.append(str(error))
+
+
+async def _run_burst(host, port, clients, requests, seed) -> dict:
+    semaphore = asyncio.Semaphore(MAX_OPEN_CONNECTIONS)
+    latencies: list = []
+    errors: list = []
+    t0 = time.perf_counter()
+    await asyncio.gather(*(
+        _client_worker(host, port, seed * 100003 + i, requests,
+                       semaphore, latencies, errors)
+        for i in range(clients)))
+    wall = time.perf_counter() - t0
+    return {
+        "clients": clients,
+        "requests_per_client": requests,
+        "completed": len(latencies),
+        "errors": len(errors),
+        "error_samples": errors[:3],
+        "wall_s": round(wall, 4),
+        "requests_per_s": round(len(latencies) / wall, 1) if wall else 0.0,
+        "p50_us": round(_percentile(latencies, 0.50) * 1e6, 1),
+        "p99_us": round(_percentile(latencies, 0.99) * 1e6, 1),
+        "max_us": round(max(latencies) * 1e6, 1) if latencies else 0.0,
+    }
+
+
+async def _run_warm_probe(host, port, requests) -> dict:
+    """Steady-state requests for the probe plan on a quiet connection.
+
+    The first request pays the full XML transfer; the rest revalidate
+    the client's cached copy by plan_id (the steady state a runtime
+    sits in — plans are immutable until a promotion). Both numbers are
+    reported; the headline p50 is over the steady-state requests.
+    """
+    latencies = []
+    async with PlanClient(host, port) as client:
+        t0 = time.perf_counter()
+        plan = await client.plan(
+            PROBE["collective"], 1 * MiB,
+            topology=PROBE["topology"], nodes=PROBE["nodes"],
+            include_xml=True)
+        fetch = time.perf_counter() - t0
+        for _ in range(requests):
+            t0 = time.perf_counter()
+            await client.plan(
+                PROBE["collective"], 1 * MiB,
+                topology=PROBE["topology"], nodes=PROBE["nodes"],
+                include_xml=True)
+            latencies.append(time.perf_counter() - t0)
+    return {
+        "plan": dict(PROBE),
+        "requests": requests,
+        "tuned": plan["tuned"],
+        "label": plan["label"],
+        "xml_bytes": len(plan["xml"]),
+        "full_fetch_us": round(fetch * 1e6, 1),
+        "p50_us": round(_percentile(latencies, 0.50) * 1e6, 1),
+        "p99_us": round(_percentile(latencies, 0.99) * 1e6, 1),
+    }
+
+
+async def _serve_and_measure(args) -> dict:
+    service = PlanService(autotune=not args.no_autotune,
+                          tune_jobs=args.jobs)
+    await service.start("127.0.0.1", 0)
+    host, port = service.address
+    try:
+        burst = await _run_burst(host, port, args.clients,
+                                 args.requests, args.seed)
+        # Let background tuning land so the probe hits tuned spans —
+        # steady state for a long-running service.
+        await service.drain_background()
+        warm = await _run_warm_probe(host, port, args.warm_requests)
+        stats = service.stats()
+        metrics = metrics_dict(service.tracer)
+    finally:
+        await service.stop()
+    return {"burst": burst, "warm_probe": warm, "stats": stats,
+            "metrics_serve": metrics.get("serve", {})}
+
+
+def run_bench(args) -> dict:
+    reset_serve_stats()
+    cold = cold_compile_baseline(args.repeats)
+    served = asyncio.run(_serve_and_measure(args))
+    warm_p50_s = served["warm_probe"]["p50_us"] / 1e6
+    report = {
+        "config": {
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "warm_requests": args.warm_requests,
+            "families": len(FAMILIES),
+            "sizes": len(SIZES),
+            "seed": args.seed,
+            "autotune": not args.no_autotune,
+            "tune_jobs": args.jobs,
+        },
+        "cold_compile": cold,
+        "burst": served["burst"],
+        "warm_probe": served["warm_probe"],
+        "speedup": (cold["median_s"] / warm_p50_s
+                    if warm_p50_s else float("inf")),
+        "serve": served["stats"]["serve"],
+        "families": served["stats"]["families"],
+        "tuned_families": served["stats"]["tuned_families"],
+        "compile_cache": served["stats"]["compile_cache"],
+        "metrics_serve": served["metrics_serve"],
+    }
+    return report
+
+
+def print_report(report: dict) -> None:
+    cold = report["cold_compile"]
+    burst = report["burst"]
+    warm = report["warm_probe"]
+    serve = report["serve"]
+    print(f"serve: {burst['clients']} clients x "
+          f"{burst['requests_per_client']} requests over "
+          f"{report['config']['families']} families, "
+          f"{report['config']['sizes']} sizes")
+    print(f"  cold compile (no cache): "
+          f"{cold['median_s'] * 1e3:8.1f} ms median of "
+          f"{cold['repeats']} ({cold['plan']['collective']}, "
+          f"nodes={cold['plan']['nodes']})")
+    print(f"  burst: {burst['completed']} ok / {burst['errors']} err in "
+          f"{burst['wall_s']:.2f}s ({burst['requests_per_s']:.0f} req/s) "
+          f"p50 {burst['p50_us']:.0f}us p99 {burst['p99_us']:.0f}us")
+    print(f"  warm probe: p50 {warm['p50_us']:.0f}us "
+          f"p99 {warm['p99_us']:.0f}us over {warm['requests']} requests "
+          f"(full fetch {warm['full_fetch_us']:.0f}us, "
+          f"{warm['xml_bytes']} B xml, tuned={warm['tuned']})")
+    print(f"  speedup (cold compile / warm p50): "
+          f"{report['speedup']:.0f}x")
+    print(f"  serve counters: {serve['requests']} requests, "
+          f"{serve['plan_hits']} hits ({serve['hit_rate']:.1%}), "
+          f"{serve['dedup_inflight']} dedup in flight, "
+          f"{serve['cold_misses']} cold, "
+          f"{serve['promotions']} promotions")
+    disk = report["compile_cache"].get("disk") or {}
+    print(f"  compile cache: {report['compile_cache']['hits']} hits / "
+          f"{report['compile_cache']['misses']} misses "
+          f"(disk: {disk.get('hits', 0)} hits)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=1000,
+                        help="concurrent client connections")
+    parser.add_argument("--requests", type=int, default=4,
+                        help="requests per client")
+    parser.add_argument("--warm-requests", type=int, default=50,
+                        help="sequential probe requests once warm")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="cold in-process compile runs (median)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="tune_jobs for background autotuning")
+    parser.add_argument("--no-autotune", action="store_true")
+    parser.add_argument("--seed", type=int, default=20260808)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="JSON report path")
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless cold/warm-p50 speedup >= X")
+    parser.add_argument("--assert-dedup", type=int, default=None,
+                        metavar="N",
+                        help="fail unless >= N in-flight dedups")
+    parser.add_argument("--assert-disk-hits", type=int, default=None,
+                        metavar="N",
+                        help="fail unless >= N disk-tier cache hits")
+    args = parser.parse_args(argv)
+
+    report = run_bench(args)
+    print_report(report)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  wrote {args.out}")
+
+    failures = []
+    if report["burst"]["errors"]:
+        failures.append(
+            f"{report['burst']['errors']} client errors, e.g. "
+            f"{report['burst']['error_samples']}")
+    if (args.assert_speedup is not None
+            and report["speedup"] < args.assert_speedup):
+        failures.append(
+            f"speedup {report['speedup']:.1f}x "
+            f"< required {args.assert_speedup:.1f}x")
+    if (args.assert_dedup is not None
+            and report["serve"]["dedup_inflight"] < args.assert_dedup):
+        failures.append(
+            f"dedup_inflight {report['serve']['dedup_inflight']} "
+            f"< required {args.assert_dedup}")
+    if args.assert_disk_hits is not None:
+        disk = report["compile_cache"].get("disk") or {}
+        if disk.get("hits", 0) < args.assert_disk_hits:
+            failures.append(
+                f"disk hits {disk.get('hits', 0)} "
+                f"< required {args.assert_disk_hits}")
+    for failure in failures:
+        print(f"  FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

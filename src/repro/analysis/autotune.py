@@ -13,6 +13,8 @@ contiguous size ranges, ready for the runtime's dynamic selection.
 
 from __future__ import annotations
 
+import asyncio
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -87,6 +89,33 @@ def default_space(max_channels: int = 8,
     ]
 
 
+def _compile_candidate(task):
+    """Compile one tuning candidate; module-level for the worker pool.
+
+    Runs in a worker process (or inline in the parent when the builder
+    cannot pickle). Workers consult their own process-wide compile
+    cache, and because they inherit ``REPRO_CACHE_DIR`` they share the
+    persistent disk tier with the parent and each other — a candidate
+    compiled by any worker is a disk hit everywhere else. Returns
+    ``("ok", ir_json)`` or ``("skip", reason)``; the parent merges
+    these back in candidate-space order, so the sharded compile phase
+    is bitwise-identical to the sequential one.
+    """
+    builder, candidate, max_threadblocks = task
+    options = CompilerOptions(max_threadblocks=max_threadblocks,
+                              cache=default_compile_cache())
+    try:
+        program = builder(
+            channels=candidate.channels,
+            instances=candidate.instances,
+            protocol=candidate.protocol,
+        )
+        algo = compile_program(program, options)
+    except MscclError as error:
+        return "skip", str(error)
+    return "ok", algo.ir.to_json()
+
+
 def tune(builder: Builder, topology: Topology, sizes: Sequence[int],
          collective_sizing_chunks: int, *,
          space: Optional[List[Candidate]] = None,
@@ -94,37 +123,51 @@ def tune(builder: Builder, topology: Topology, sizes: Sequence[int],
          jobs: Optional[int] = None, tracer=None) -> TuningResult:
     """Explore the space and pick the fastest candidate per size.
 
-    Candidates compile sequentially in this process (sharing the
-    two-tier compile cache), then ``jobs`` > 1 (default:
-    ``$REPRO_JOBS``, else 1) shards the (candidate x size) simulations
-    across worker processes. Results merge in the sequential order —
-    sizes outer, candidates inner, first strictly-faster candidate
-    winning — so the parallel :class:`TuningResult` is bitwise-identical
-    to the sequential one.
+    ``jobs`` > 1 (default: ``$REPRO_JOBS``, else 1) shards *both*
+    phases across the worker pool: candidate compiles (workers share
+    the persistent disk cache tier, so nothing compiles twice across
+    the pool) and then the (candidate x size) simulations. Results
+    merge in the sequential order — compile outcomes in
+    candidate-space order; simulations sizes outer, candidates inner,
+    first strictly-faster candidate winning — so the parallel
+    :class:`TuningResult` is bitwise-identical to the sequential one.
     """
     space = space if space is not None else default_space()
     config = sim_config or SimConfig()
     jobs = resolve_jobs(jobs)
-    # Tuning loops re-run with overlapping candidate spaces; the
-    # compile cache turns every previously-seen candidate into a hit.
-    options = CompilerOptions(
-        max_threadblocks=topology.machine.sm_count,
-        cache=default_compile_cache(),
-    )
     compiled: Dict[Candidate, MscclIr] = {}
     result = TuningResult(candidates=[], sizes=list(sizes), times={},
                           sizing_chunks=collective_sizing_chunks)
-    for candidate in space:
-        try:
-            program = builder(
-                channels=candidate.channels,
-                instances=candidate.instances,
-                protocol=candidate.protocol,
-            )
-            compiled[candidate] = compile_program(program, options)
-            result.candidates.append(candidate)
-        except MscclError as error:
-            result.skipped.append((candidate, str(error)))
+    if jobs == 1:
+        # Tuning loops re-run with overlapping candidate spaces; the
+        # compile cache turns every previously-seen candidate into a
+        # hit.
+        options = CompilerOptions(
+            max_threadblocks=topology.machine.sm_count,
+            cache=default_compile_cache(),
+        )
+        for candidate in space:
+            try:
+                program = builder(
+                    channels=candidate.channels,
+                    instances=candidate.instances,
+                    protocol=candidate.protocol,
+                )
+                compiled[candidate] = compile_program(program, options)
+                result.candidates.append(candidate)
+            except MscclError as error:
+                result.skipped.append((candidate, str(error)))
+    else:
+        tasks = [(builder, candidate, topology.machine.sm_count)
+                 for candidate in space]
+        outcomes = parallel_map(_compile_candidate, tasks, jobs=jobs,
+                                tracer=tracer, label="tune.compile")
+        for candidate, (status, payload) in zip(space, outcomes):
+            if status == "ok":
+                compiled[candidate] = MscclIr.from_json(payload)
+                result.candidates.append(candidate)
+            else:
+                result.skipped.append((candidate, payload))
 
     if not compiled:
         raise ValueError(
@@ -170,6 +213,31 @@ def tune(builder: Builder, topology: Topology, sizes: Sequence[int],
         result.best[size] = best_candidate
     result._compiled = compiled  # kept for build_registry
     return result
+
+
+async def tune_async(builder: Builder, topology: Topology,
+                     sizes: Sequence[int],
+                     collective_sizing_chunks: int, *,
+                     space: Optional[List[Candidate]] = None,
+                     sim_config: Optional[SimConfig] = None,
+                     jobs: Optional[int] = None, tracer=None,
+                     executor=None) -> TuningResult:
+    """:func:`tune` without blocking the event loop.
+
+    The non-blocking entry point the plan service's background
+    autotuner uses: the whole tuning run is handed to ``executor``
+    (default: the loop's default thread pool), so an asyncio server
+    keeps answering requests while candidates compile and simulate —
+    including in worker processes when ``jobs`` > 1. Awaiting it yields
+    the same bitwise-deterministic :class:`TuningResult` as the
+    synchronous call.
+    """
+    loop = asyncio.get_running_loop()
+    fn = functools.partial(
+        tune, builder, topology, sizes, collective_sizing_chunks,
+        space=space, sim_config=sim_config, jobs=jobs, tracer=tracer,
+    )
+    return await loop.run_in_executor(executor, fn)
 
 
 def build_registry(result: TuningResult,

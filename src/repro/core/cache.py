@@ -41,6 +41,8 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, NamedTuple, Optional
@@ -54,6 +56,10 @@ from .program import MSCCLProgram
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 DEFAULT_DISK_BYTES = 256 * 1024 * 1024
+# How long a ``.write-*.part`` temp file may sit in the cache directory
+# before eviction treats it as an orphan from a crashed/killed writer
+# and removes it. Until then its bytes count toward the LRU budget.
+DEFAULT_PART_GRACE_SECONDS = 60.0
 
 
 class CacheEntry(NamedTuple):
@@ -200,22 +206,37 @@ class DiskCacheTier:
     The tier is LRU-bounded by total bytes: lookups bump the entry's
     mtime, and stores evict oldest-mtime files until the directory fits
     ``max_bytes`` again (the entry just written is never evicted).
+    Eviction also accounts for ``.write-*.part`` temp files: a live one
+    (a concurrent writer mid-store) counts toward the byte budget, and
+    one older than ``part_grace_seconds`` — orphaned by a crashed or
+    killed writer, since a healthy store renames within milliseconds —
+    is deleted on the spot.
+
+    Counter bumps and eviction hold a lock so concurrent threads in one
+    process never race them; cross-process safety comes from the atomic
+    renames alone.
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None,
-                 max_bytes: Optional[int] = None):
+                 max_bytes: Optional[int] = None,
+                 part_grace_seconds: float = DEFAULT_PART_GRACE_SECONDS):
         if max_bytes is None:
             env = os.environ.get(CACHE_BYTES_ENV, "").strip()
             max_bytes = int(env) if env else DEFAULT_DISK_BYTES
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
+        if part_grace_seconds < 0:
+            raise ValueError("part_grace_seconds must be >= 0")
         self.directory = (Path(directory) if directory is not None
                           else default_cache_dir())
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        self.part_grace_seconds = part_grace_seconds
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.orphans_removed = 0
+        self._lock = threading.RLock()
 
     def path_for(self, key: str) -> Path:
         digest = hashlib.sha256(key.encode()).hexdigest()
@@ -226,7 +247,7 @@ class DiskCacheTier:
         try:
             text = path.read_text()
         except OSError:
-            self.misses += 1
+            self._bump("misses")
             return None
         try:
             doc = json.loads(text)
@@ -239,18 +260,22 @@ class DiskCacheTier:
             # in the caller's materialize().
             MscclIr.from_json(entry.ir_json)
         except (ValueError, KeyError, TypeError):
-            self.misses += 1
+            self._bump("misses")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        self.hits += 1
+        self._bump("hits")
         try:
             os.utime(path)  # LRU bump
         except OSError:
             pass
         return entry
+
+    def _bump(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
 
     def store(self, key: str, entry: CacheEntry) -> bool:
         """Persist one entry; False if its collective cannot round-trip."""
@@ -278,56 +303,91 @@ class DiskCacheTier:
         self._evict(keep=path)
         return True
 
-    def _evict(self, keep: Path) -> None:
-        entries = []
-        total = 0
-        for path in self.directory.glob("*.json"):
+    def _sweep_part_files(self) -> int:
+        """Reap orphaned temp files; returns live ``.part`` bytes.
+
+        A ``.part`` older than the grace period was abandoned by a
+        crashed/killed writer (a healthy store renames within
+        milliseconds) and is removed. Younger ones belong to an
+        in-flight writer: they stay, but their bytes count toward the
+        budget so a burst of concurrent writers cannot silently blow
+        past ``max_bytes``.
+        """
+        live_bytes = 0
+        now = time.time()
+        for path in self.directory.glob(".write-*.part"):
             try:
                 stat = path.stat()
             except OSError:
-                continue  # raced with another process's eviction
-            entries.append((stat.st_mtime, stat.st_size, path))
-            total += stat.st_size
-        entries.sort(key=lambda row: row[0])
-        for _mtime, size, path in entries:
-            if total <= self.max_bytes:
-                break
-            if path == keep:
-                continue
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            total -= size
-            self.evictions += 1
+                continue  # the writer finished (renamed) or unlinked it
+            if now - stat.st_mtime > self.part_grace_seconds:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                with self._lock:
+                    self.orphans_removed += 1
+            else:
+                live_bytes += stat.st_size
+        return live_bytes
+
+    def _evict(self, keep: Path) -> None:
+        with self._lock:
+            entries = []
+            total = self._sweep_part_files()
+            for path in self.directory.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # raced with another process's eviction
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            entries.sort(key=lambda row: row[0])
+            for _mtime, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                if path == keep:
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                self.evictions += 1
 
     def entry_count(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
 
     def total_bytes(self) -> int:
+        """Entry bytes plus any in-flight writers' ``.part`` bytes."""
         total = 0
-        for path in self.directory.glob("*.json"):
-            try:
-                total += path.stat().st_size
-            except OSError:
-                continue
+        for pattern in ("*.json", ".write-*.part"):
+            for path in self.directory.glob(pattern):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
         return total
 
     def clear(self) -> None:
-        for path in self.directory.glob("*.json"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        for pattern in ("*.json", ".write-*.part"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.orphans_removed = 0
 
     def stats(self) -> Dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "orphans_removed": self.orphans_removed,
             "entries": self.entry_count(),
             "bytes": self.total_bytes(),
             "dir": str(self.directory),
@@ -342,6 +402,12 @@ class CompileCache:
     the entry back into memory), stores write through to it. After a
     lookup, :attr:`last_hit_tier` says which tier served it
     (``"memory"``, ``"disk"``, or None on a miss).
+
+    The cache is thread-safe: the memory tier and the hit/miss counters
+    are guarded by a lock (the plan service's executor threads and the
+    tuner both hammer one instance), and ``last_hit_tier`` is
+    thread-local, so each thread reads the tier of *its own* last
+    lookup, never a concurrent one's.
     """
 
     def __init__(self, maxsize: int = 256,
@@ -351,34 +417,46 @@ class CompileCache:
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
-        self.last_hit_tier: Optional[str] = None
+        self._lock = threading.RLock()
+        self._tier_local = threading.local()
+
+    @property
+    def last_hit_tier(self) -> Optional[str]:
+        """Tier of the calling thread's most recent lookup."""
+        return getattr(self._tier_local, "tier", None)
+
+    @last_hit_tier.setter
+    def last_hit_tier(self, tier: Optional[str]) -> None:
+        self._tier_local.tier = tier
 
     def key_for(self, program: MSCCLProgram, options) -> str:
         return program_digest(program) + "/" + options_digest(options)
 
     def lookup(self, key: str) -> Optional[CacheEntry]:
         """The entry for ``key`` (bumping hit/miss counters)."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            self.last_hit_tier = "memory"
-            return entry
-        if self.disk is not None:
-            entry = self.disk.lookup(key)
+        with self._lock:
+            entry = self._entries.get(key)
             if entry is not None:
-                self._put(key, entry)
+                self._entries.move_to_end(key)
                 self.hits += 1
-                self.last_hit_tier = "disk"
+                self.last_hit_tier = "memory"
                 return entry
-        self.misses += 1
-        self.last_hit_tier = None
-        return None
+            if self.disk is not None:
+                entry = self.disk.lookup(key)
+                if entry is not None:
+                    self._put(key, entry)
+                    self.hits += 1
+                    self.last_hit_tier = "disk"
+                    return entry
+            self.misses += 1
+            self.last_hit_tier = None
+            return None
 
     def store(self, key: str, ir: MscclIr,
               collective: Collective) -> None:
         entry = CacheEntry(ir.to_json(), collective)
-        self._put(key, entry)
+        with self._lock:
+            self._put(key, entry)
         if self.disk is not None:
             self.disk.store(key, entry)
 
@@ -393,22 +471,27 @@ class CompileCache:
         return MscclIr.from_json(entry.ir_json)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.last_hit_tier = None
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.last_hit_tier = None
 
     def stats(self) -> Dict[str, float]:
         """JSON-safe counters for dashboards and BENCH artifacts."""
-        total = self.hits + self.misses
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            entries = len(self._entries)
+        total = hits + misses
         stats: Dict[str, float] = {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self._entries),
-            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            "hits": hits,
+            "misses": misses,
+            "entries": entries,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
         }
         if self.disk is not None:
             stats["disk"] = self.disk.stats()
@@ -416,6 +499,7 @@ class CompileCache:
 
 
 _DEFAULT_CACHE: Optional[CompileCache] = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
 
 
 def default_compile_cache() -> CompileCache:
@@ -425,14 +509,19 @@ def default_compile_cache() -> CompileCache:
     ``REPRO_CACHE_MAX_BYTES`` are read at call time, with a persistent
     disk tier attached; when the cache directory cannot be created
     (read-only home, sandbox), the cache quietly runs memory-only.
+    Creation is race-free: concurrent first callers (the plan service's
+    executor threads) all observe the same instance, never two caches
+    splitting the hit counters.
     """
     global _DEFAULT_CACHE
     if _DEFAULT_CACHE is None:
-        try:
-            disk: Optional[DiskCacheTier] = DiskCacheTier()
-        except (OSError, ValueError):
-            disk = None
-        _DEFAULT_CACHE = CompileCache(disk=disk)
+        with _DEFAULT_CACHE_LOCK:
+            if _DEFAULT_CACHE is None:
+                try:
+                    disk: Optional[DiskCacheTier] = DiskCacheTier()
+                except (OSError, ValueError):
+                    disk = None
+                _DEFAULT_CACHE = CompileCache(disk=disk)
     return _DEFAULT_CACHE
 
 
@@ -443,4 +532,5 @@ def reset_default_compile_cache() -> None:
     use it to exercise the persistent tier without subprocesses).
     """
     global _DEFAULT_CACHE
-    _DEFAULT_CACHE = None
+    with _DEFAULT_CACHE_LOCK:
+        _DEFAULT_CACHE = None

@@ -29,7 +29,7 @@ from .diagnose import (
 from .export import chrome_trace, flame_text, write_chrome_trace
 from .graph import Edge, ExecNode, ExecutionGraph, PathStep, Segment
 from .metrics import (compile_cache_stats, metrics_dict, metrics_text,
-                      worker_pool_stats)
+                      plan_service_stats, worker_pool_stats)
 from .tracer import CounterSample, Span, Tracer, maybe_span
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "maybe_span",
     "metrics_dict",
     "metrics_text",
+    "plan_service_stats",
     "worker_pool_stats",
     "write_chrome_trace",
 ]

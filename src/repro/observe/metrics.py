@@ -41,6 +41,20 @@ def worker_pool_stats() -> Dict:
     return pool_stats()
 
 
+def plan_service_stats() -> Dict:
+    """Counters from the :mod:`repro.serve` plan service.
+
+    Request/hit/in-flight-dedup/promotion totals for the process-wide
+    service counters; empty when no service handled a request. Lazy
+    import for the same layering reason as the other sections.
+    """
+    try:
+        from ..serve.stats import serve_stats
+    except ImportError:  # pragma: no cover - serve layer absent
+        return {}
+    return serve_stats()
+
+
 def metrics_dict(tracer: Tracer, result=None) -> Dict:
     """Counters, span aggregates, and link occupancy as one dict.
 
@@ -69,6 +83,9 @@ def metrics_dict(tracer: Tracer, result=None) -> Dict:
     workers = worker_pool_stats()
     if workers.get("tasks"):
         metrics["workers"] = workers
+    serve = plan_service_stats()
+    if serve.get("requests"):
+        metrics["serve"] = serve
     if result is not None:
         elapsed = result.time_us
         links = {}
@@ -129,6 +146,15 @@ def metrics_text(metrics: Dict, top_links: Optional[int] = 8) -> str:
             f"worker pool: {workers['tasks']} task(s) over "
             f"{workers['pools']} pool(s), up to {workers['max_jobs']} "
             f"job(s), {workers['utilization']:.0%} busy"
+        )
+    serve = metrics.get("serve")
+    if serve:
+        lines.append(
+            f"plan service: {serve['requests']} request(s), "
+            f"{serve['plan_hits']} table hit(s) "
+            f"({serve['hit_rate']:.0%}), "
+            f"{serve['dedup_inflight']} deduplicated in flight, "
+            f"{serve['promotions']} promotion(s)"
         )
     links = metrics.get("links", {})
     if links:

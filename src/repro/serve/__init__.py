@@ -1,0 +1,36 @@
+"""repro.serve: the batched, async, shared-cache compile-plan service.
+
+Turns the library's "compile then select" flow into a long-running
+multi-tenant server: requests name a (collective, topology preset,
+size, constraints) point, the service answers from its plan table /
+the two-tier compile cache, deduplicates identical requests in flight,
+and autotunes cold plan families in the background. See
+docs/serving.md and :mod:`repro.serve.service`.
+"""
+
+from .client import PlanClient, PlanServiceError, SyncPlanClient
+from .service import (
+    COLLECTIVES,
+    DEFAULT_TUNE_SIZES,
+    DEFAULT_TUNE_SPACE,
+    PlanFamily,
+    PlanRequest,
+    PlanService,
+    ServeError,
+)
+from .stats import reset_serve_stats, serve_stats
+
+__all__ = [
+    "COLLECTIVES",
+    "DEFAULT_TUNE_SIZES",
+    "DEFAULT_TUNE_SPACE",
+    "PlanClient",
+    "PlanFamily",
+    "PlanRequest",
+    "PlanService",
+    "PlanServiceError",
+    "ServeError",
+    "SyncPlanClient",
+    "reset_serve_stats",
+    "serve_stats",
+]

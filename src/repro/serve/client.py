@@ -1,0 +1,162 @@
+"""Clients for the plan service's newline-delimited JSON protocol.
+
+:class:`PlanClient` is the asyncio client the load generator and other
+event-loop callers use — one connection, requests pipelined strictly
+in order (the protocol guarantees in-order responses per connection).
+:class:`SyncPlanClient` wraps it for scripts and the CLI: every call
+spins a private event loop, connects, speaks, and disconnects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional
+
+from ..core.errors import MscclError
+
+
+class PlanServiceError(MscclError):
+    """The service answered ``ok: false`` (or spoke garbage)."""
+
+
+class PlanClient:
+    """One connection to a :class:`~repro.serve.service.PlanService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        # Plans are immutable content named by plan_id, so the client
+        # keeps every payload it has seen and revalidates with
+        # 'if_plan': a repeat ask costs one short 'match' line instead
+        # of re-shipping megabytes of XML. _seen remembers which
+        # plan_id each exact ask last resolved to (promotions change
+        # it, and then the revalidation misses and refetches).
+        self._plans: Dict[str, Dict] = {}
+        self._seen: Dict[tuple, str] = {}
+
+    async def connect(self) -> "PlanClient":
+        from .service import STREAM_LIMIT
+
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=STREAM_LIMIT)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "PlanClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def request(self, doc: Dict) -> Dict:
+        """Send one message and await its response document."""
+        if self._writer is None:
+            await self.connect()
+        self._writer.write(
+            json.dumps(doc, separators=(",", ":")).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise PlanServiceError("service closed the connection")
+        try:
+            response = json.loads(line)
+        except ValueError:
+            raise PlanServiceError(f"unparseable response: {line!r}")
+        if not response.get("ok"):
+            raise PlanServiceError(
+                response.get("error", "service error"))
+        plan = response.get("plan")
+        if isinstance(plan, dict) and "xml_bytes" in plan:
+            # The XML follows the header line as a raw blob — see
+            # PlanSpan: shipping it inside the JSON string would make
+            # both ends escape and re-parse megabytes per request.
+            raw = await self._reader.readexactly(plan.pop("xml_bytes"))
+            plan["xml"] = raw.decode()
+        return response
+
+    async def plan(self, collective: str, size_bytes: int, *,
+                   topology: str = "ndv4", nodes: int = 1,
+                   gpus_per_node: int = 8,
+                   protocol: Optional[str] = None,
+                   include_xml: bool = True) -> Dict:
+        """Ask for a plan; returns the plan payload dict.
+
+        Transparently revalidates against the client-side plan cache
+        (see ``__init__``); the returned dict is always a fresh copy.
+        """
+        doc = {
+            "op": "plan", "collective": collective, "size": size_bytes,
+            "topology": topology, "nodes": nodes,
+            "gpus_per_node": gpus_per_node,
+            "include_xml": include_xml,
+        }
+        if protocol is not None:
+            doc["protocol"] = protocol
+        ask = (collective, size_bytes, topology, nodes, gpus_per_node,
+               protocol, include_xml)
+        cached_id = self._seen.get(ask)
+        if cached_id is not None:
+            doc["if_plan"] = cached_id
+        response = await self.request(doc)
+        plan = response["plan"]
+        if plan.get("match"):
+            return dict(self._plans[(plan["plan_id"], include_xml)])
+        plan_id = plan.get("plan_id")
+        if plan_id is not None:
+            self._plans[(plan_id, include_xml)] = plan
+            self._seen[ask] = plan_id
+        return dict(plan)
+
+    async def stats(self) -> Dict:
+        return (await self.request({"op": "stats"}))["stats"]
+
+    async def ping(self) -> bool:
+        return bool((await self.request({"op": "ping"})).get("pong"))
+
+    async def shutdown(self) -> None:
+        """Ask the service to stop (fire-and-confirm)."""
+        if self._writer is None:
+            await self.connect()
+        self._writer.write(b'{"op":"shutdown"}\n')
+        await self._writer.drain()
+        await self._reader.readline()
+        await self.close()
+
+
+class SyncPlanClient:
+    """Blocking convenience wrapper: one event loop per call."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765):
+        self.host = host
+        self.port = port
+
+    def _run(self, coro_fn, *args, **kwargs):
+        async def body():
+            async with PlanClient(self.host, self.port) as client:
+                return await coro_fn(client, *args, **kwargs)
+        return asyncio.run(body())
+
+    def plan(self, collective: str, size_bytes: int, **kwargs) -> Dict:
+        return self._run(PlanClient.plan, collective, size_bytes,
+                         **kwargs)
+
+    def stats(self) -> Dict:
+        return self._run(PlanClient.stats)
+
+    def ping(self) -> bool:
+        return self._run(PlanClient.ping)
+
+    def shutdown(self) -> None:
+        return self._run(PlanClient.shutdown)

@@ -1,0 +1,56 @@
+"""Process-wide plan-service counters.
+
+Kept in their own module (no asyncio, no service import) so
+:func:`repro.observe.metrics_dict` can pull them in lazily the same way
+it pulls the worker-pool counters — a dashboard sees compile-cache,
+worker-pool, and serving counters side by side in one dict.
+
+All counters are monotone over the life of the process (a service
+restart within one process keeps accumulating, mirroring how the
+compile cache's counters behave). :func:`reset_serve_stats` exists for
+tests and benchmarks that want a clean slate.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+_STATS: Dict[str, float] = {}
+_LOCK = threading.Lock()
+
+# Every counter the service bumps, so serve_stats() always has a
+# stable, fully-populated shape even before the first request.
+_COUNTERS = (
+    "requests",        # plan requests received (incl. deduplicated)
+    "plan_hits",       # answered straight from the plan table
+    "dedup_inflight",  # piggybacked on an identical in-flight compile
+    "cold_misses",     # compiles started (one per family, not request)
+    "not_modified",    # if_plan revalidations answered with a match
+    "promotions",      # background tunes whose winners were promoted
+    "tune_runs",       # background tuning runs started
+    "tune_errors",     # background tuning runs that failed
+    "cancelled",       # client connections dropped mid-request
+    "errors",          # malformed / unsatisfiable requests
+)
+
+
+def bump(name: str, delta: float = 1.0) -> None:
+    with _LOCK:
+        _STATS[name] = _STATS.get(name, 0.0) + delta
+
+
+def reset_serve_stats() -> None:
+    with _LOCK:
+        _STATS.clear()
+
+
+def serve_stats() -> Dict[str, float]:
+    """JSON-safe counters plus the derived plan-table hit rate."""
+    with _LOCK:
+        stats = {name: int(_STATS.get(name, 0)) for name in _COUNTERS}
+    requests = stats["requests"]
+    stats["hit_rate"] = (
+        round(stats["plan_hits"] / requests, 4) if requests else 0.0
+    )
+    return stats

@@ -25,6 +25,12 @@ Subcommands:
   its collective semantics, and feed the same machinery as compiled
   algorithms: summary, data-level check, timing simulation,
   conformance, and bottleneck diagnosis.
+* ``serve``    — run the compile-plan service: an asyncio server that
+  answers (collective, topology, size) requests from the two-tier
+  compile cache, deduplicates identical in-flight requests, and
+  autotunes cold plan families in the background (docs/serving.md).
+* ``plan``     — the matching client: ask a running service for a
+  plan (or its stats), print the selection summary or the XML.
 
 Example::
 
@@ -526,6 +532,76 @@ def _sweep(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    import asyncio
+
+    from ..serve import PlanService
+
+    service = PlanService(
+        autotune=not args.no_autotune,
+        tune_jobs=args.tune_jobs,
+    )
+
+    async def run():
+        await service.start(args.host, args.port)
+        host, port = service.address
+        print(f"# plan service listening on {host}:{port}",
+              file=sys.stderr)
+        await service.serve_until_shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("# interrupted; plan service stopped", file=sys.stderr)
+    stats = service.stats()["serve"]
+    print(f"# served {stats['requests']} request(s): "
+          f"{stats['plan_hits']} table hit(s), "
+          f"{stats['dedup_inflight']} deduplicated in flight, "
+          f"{stats['promotions']} promotion(s)", file=sys.stderr)
+    return 0
+
+
+def _plan(args) -> int:
+    import json as _json
+
+    from ..serve import PlanServiceError, SyncPlanClient
+
+    client = SyncPlanClient(args.host, args.port)
+    try:
+        if args.stats:
+            stats = client.stats()
+        elif args.shutdown:
+            client.shutdown()
+        else:
+            plan = client.plan(
+                args.collective, parse_size(args.size),
+                topology=args.topology, nodes=args.nodes,
+                gpus_per_node=args.gpus_per_node,
+                protocol=args.protocol, include_xml=args.xml,
+            )
+    except (PlanServiceError, ConnectionRefusedError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach plan service at {args.host}:{args.port}: "
+            f"{exc}")
+    if args.stats:
+        print(_json.dumps(stats, indent=2))
+        return 0
+    if args.shutdown:
+        print("# service asked to shut down", file=sys.stderr)
+        return 0
+    if args.xml:
+        print(plan["xml"])
+        return 0
+    predicted = plan.get("predicted_us")
+    print(f"{plan['algorithm']}  ({plan['label']})")
+    print(f"  collective: {plan['collective']}  ranks: {plan['ranks']}"
+          f"  protocol: {plan['protocol']}")
+    print(f"  origin: {plan['origin']}  tuned: {plan['tuned']}  "
+          f"predicted: "
+          f"{'n/a' if predicted is None else f'{predicted:.1f} us'}")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-tools",
@@ -736,6 +812,56 @@ def main(argv: Optional[list] = None) -> int:
              "(default: $REPRO_JOBS or 1)",
     )
     sweep_parser.set_defaults(func=_sweep)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the compile-plan service (asyncio, shared-cache, "
+             "background autotuning)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="TCP port (0 picks a free one)")
+    serve_parser.add_argument(
+        "--tune-jobs", type=int, default=None,
+        help="worker processes for background autotuning "
+             "(default: $REPRO_JOBS or 1)",
+    )
+    serve_parser.add_argument(
+        "--no-autotune", action="store_true",
+        help="serve provisional plans only; never tune in background",
+    )
+    serve_parser.set_defaults(func=_serve)
+
+    plan_parser = sub.add_parser(
+        "plan", help="ask a running plan service for a plan"
+    )
+    plan_parser.add_argument(
+        "collective", nargs="?", default="allreduce",
+        help="collective name (default: allreduce)",
+    )
+    plan_parser.add_argument("--host", default="127.0.0.1")
+    plan_parser.add_argument("--port", type=int, default=8765)
+    plan_parser.add_argument("--size", default="1MB")
+    plan_parser.add_argument("--topology", default="ndv4",
+                             choices=["generic", *TOPOLOGIES])
+    plan_parser.add_argument("--nodes", type=int, default=1)
+    plan_parser.add_argument("--gpus-per-node", type=int, default=8,
+                             help="only used with --topology generic")
+    plan_parser.add_argument("--protocol", default=None,
+                             choices=["Simple", "LL", "LL128"])
+    plan_parser.add_argument(
+        "--xml", action="store_true",
+        help="print the plan's MSCCL-IR XML instead of the summary",
+    )
+    plan_parser.add_argument(
+        "--stats", action="store_true",
+        help="print the service's stats JSON and exit",
+    )
+    plan_parser.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the service to shut down and exit",
+    )
+    plan_parser.set_defaults(func=_plan)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -167,6 +167,127 @@ class TestConcurrentWriters:
         assert not list(tmp_path.glob("*.part"))
 
 
+class TestPartFileSweep:
+    def _entry(self, tag):
+        ir_json = json.dumps({"tag": tag, "pad": "x" * 2000})
+        return CacheEntry(ir_json, AllReduce(4, chunk_factor=4,
+                                             in_place=True))
+
+    def _backdate(self, path, seconds):
+        import os
+        import time
+        stamp = time.time() - seconds
+        os.utime(path, (stamp, stamp))
+
+    def test_stale_orphans_swept_on_eviction(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        orphan = tmp_path / ".write-dead00.part"
+        orphan.write_text("z" * 500)
+        self._backdate(orphan, 3600)  # far past the grace period
+        tier.store("key-live", self._entry("live"))
+        assert not orphan.exists()
+        assert tier.orphans_removed == 1
+        assert tier.stats()["orphans_removed"] == 1
+        # The real entry is untouched.
+        assert tier.path_for("key-live").exists()
+
+    def test_fresh_part_files_survive_and_count(self, tmp_path):
+        tier = DiskCacheTier(tmp_path, max_bytes=5000)
+        inflight = tmp_path / ".write-busy00.part"
+        inflight.write_text("z" * 4000)  # mtime == now: a live writer
+        tier.store("key-a", self._entry("a"))
+        tier.store("key-b", self._entry("b"))
+        # The live temp file was never reaped, but its bytes pressed
+        # the budget: an entry had to go to make room.
+        assert inflight.exists()
+        assert tier.orphans_removed == 0
+        assert tier.evictions >= 1
+        assert tier.path_for("key-b").exists()
+        assert tier.total_bytes() >= 4000
+
+    def test_clear_removes_part_files(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        (tmp_path / ".write-dead00.part").write_text("z")
+        tier.store("key", self._entry("x"))
+        tier.clear()
+        assert tier.total_bytes() == 0
+        assert not list(tmp_path.glob(".write-*.part"))
+
+    def test_negative_grace_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCacheTier(tmp_path, part_grace_seconds=-1.0)
+
+
+class TestCompileCacheThreadSafety:
+    def test_threaded_hammer_keeps_counters_exact(self):
+        algo = compile_program(build_ring_allreduce(4), CompilerOptions())
+        collective = AllReduce(4, chunk_factor=4, in_place=True)
+        cache = CompileCache(maxsize=64)
+        threads, iters, keyspace = 8, 50, 8
+        errors = []
+
+        def hammer(seed):
+            try:
+                for i in range(iters):
+                    key = f"key-{(seed + i) % keyspace}"
+                    if cache.lookup(key) is None:
+                        cache.store(key, algo.ir, collective)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        workers = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        # Every lookup was either a hit or a miss — nothing lost to a
+        # counter race.
+        assert cache.hits + cache.misses == threads * iters
+        assert len(cache) == keyspace
+
+    def test_last_hit_tier_is_thread_local(self):
+        algo = compile_program(build_ring_allreduce(4), CompilerOptions())
+        collective = AllReduce(4, chunk_factor=4, in_place=True)
+        cache = CompileCache()
+        cache.store("present", algo.ir, collective)
+        cache.lookup("present")
+        assert cache.last_hit_tier == "memory"
+        seen = {}
+
+        def other_thread():
+            cache.lookup("absent")
+            seen["tier"] = cache.last_hit_tier
+
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        worker.join()
+        # The other thread's miss never clobbered this thread's view.
+        assert seen["tier"] is None
+        assert cache.last_hit_tier == "memory"
+
+    def test_default_cache_creation_is_race_free(self):
+        reset_default_compile_cache()
+        try:
+            barrier = threading.Barrier(8)
+            instances = []
+
+            def grab():
+                barrier.wait()
+                instances.append(default_compile_cache())
+
+            workers = [threading.Thread(target=grab) for _ in range(8)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            assert len(instances) == 8
+            assert all(c is instances[0] for c in instances)
+        finally:
+            reset_default_compile_cache()
+
+
 class TestCustomCollectives:
     def _custom(self):
         return Custom(
